@@ -1,0 +1,34 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one figure of the paper at a reduced scale
+(``REPRO_FULL=1`` restores paper scale) and prints the regenerated series
+— the rows/curves the paper plots — so the run doubles as the data source
+for EXPERIMENTS.md.  ``benchmark.pedantic(..., rounds=1)`` is used
+throughout: an experiment *is* the measurement; repeating it for timing
+statistics would multiply hours of simulation for no extra fidelity.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.base import Scale
+
+
+@pytest.fixture
+def bench_scale() -> Scale:
+    """Scale used by figure benchmarks: tiny by default, paper under
+    REPRO_FULL=1."""
+    if os.environ.get("REPRO_FULL") == "1":
+        return Scale(runs=50, interval=300.0, full=True)
+    return Scale(runs=3, interval=45.0, full=False)
+
+
+def run_figure(benchmark, run_fn, scale, **kwargs):
+    """Execute one figure experiment under the benchmark clock and print
+    its table."""
+    result = benchmark.pedantic(
+        run_fn, kwargs={"scale": scale, **kwargs}, rounds=1, iterations=1
+    )
+    result.print_table()
+    return result

@@ -1,0 +1,95 @@
+"""Ablation: drop-tail vs RED at the tight link.
+
+DESIGN.md flags the drop-tail assumption (the paper's footnote 6) as
+load-bearing for two results:
+
+* **SLoPS accuracy should NOT depend on it** — the OWD trend comes from
+  queue growth, which RED preserves below its thresholds; pathload must
+  bracket the avail-bw under both disciplines.
+* **Fig. 16's RTT inflation SHOULD depend on it** — a greedy BTC
+  connection fills a drop-tail queue completely (the +170 ms RTT band);
+  RED's early drops cap the standing queue, so the inflation shrinks.
+"""
+
+import numpy as np
+
+from repro.experiments.base import fast_pathload_config, spawn_seeds
+from repro.netsim import Simulator, build_single_hop_path
+from repro.netsim.qdisc import REDQueue
+from repro.transport.ping import Pinger
+from repro.transport.probe import run_pathload
+from repro.transport.tcp import TCPConfig, open_connection
+
+
+def make_red(rng):
+    return REDQueue(
+        min_th_bytes=10_000, max_th_bytes=40_000, rng=rng, weight=0.01
+    )
+
+
+def pathload_under(qdisc_factory, seeds):
+    outcomes = []
+    for rng in seeds:
+        sim = Simulator()
+        setup = build_single_hop_path(
+            sim, 10e6, 0.6, rng, prop_delay=0.01, buffer_bytes=200_000
+        )
+        if qdisc_factory is not None:
+            setup.tight_link.qdisc = qdisc_factory(np.random.default_rng(7))
+        report = run_pathload(
+            sim, setup.network, config=fast_pathload_config(), start=2.0,
+            time_limit=600.0,
+        )
+        outcomes.append((report.low_bps, report.high_bps))
+    return outcomes
+
+
+def btc_rtt_inflation(qdisc_factory, seed=11):
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    # short-RTT variant of the Fig. 16 path so the AIMD sawtooth cycles
+    # many times within the measurement window
+    setup = build_single_hop_path(
+        sim, 8.2e6, 0.0, rng, prop_delay=0.025, buffer_bytes=100_000
+    )
+    if qdisc_factory is not None:
+        setup.tight_link.qdisc = qdisc_factory(np.random.default_rng(13))
+    ping = Pinger(sim, setup.network, interval=0.25, start=0.0, stop=60.0)
+    sender, _receiver = open_connection(
+        sim, setup.network, config=TCPConfig(min_rto=0.5), start=1.0
+    )
+    sim.run(until=61.0)
+    sender.stop()
+    # steady-state inflation: ignore the slow-start transient, compare the
+    # 90th-percentile RTT against the quiescent baseline
+    steady = [rtt for t, rtt in ping.rtts if t >= 20.0]
+    base = min(rtt for _t, rtt in ping.rtts)
+    return float(np.percentile(steady, 90)) - base
+
+
+def test_queue_discipline_ablation(benchmark):
+    def study():
+        seeds = spawn_seeds(515, 3)
+        return {
+            "pathload_droptail": pathload_under(None, seeds),
+            "pathload_red": pathload_under(make_red, spawn_seeds(515, 3)),
+            "btc_rtt_inflation_droptail": btc_rtt_inflation(None),
+            "btc_rtt_inflation_red": btc_rtt_inflation(make_red),
+        }
+
+    results = benchmark.pedantic(study, rounds=1, iterations=1)
+    for key, value in results.items():
+        if key.startswith("pathload"):
+            print(key, [(round(l / 1e6, 2), round(h / 1e6, 2)) for l, h in value])
+        else:
+            print(key, f"{value * 1e3:.0f} ms")
+
+    # SLoPS works under both disciplines (truth A = 4 Mb/s, omega slack)
+    for key in ("pathload_droptail", "pathload_red"):
+        for low, high in results[key]:
+            assert low - 1e6 <= 4e6 <= high + 1e6, (key, low, high)
+    # ...but the Fig. 16 RTT inflation is a drop-tail artifact: RED caps it
+    assert (
+        results["btc_rtt_inflation_red"]
+        < 0.6 * results["btc_rtt_inflation_droptail"]
+    )

@@ -1,0 +1,64 @@
+"""Extension: parallel persistent TCP connections vs. a single BTC.
+
+Section II, discussing the BTC metric: "Parallel persistent connections,
+or a large number of short TCP connections ('mice'), can obtain an
+aggregate throughput that is higher than the BTC."  The mechanism is AIMD
+arithmetic: competing against loss-responsive flows, k parallel
+connections claim k shares of the bottleneck — a single drop halves only
+1/k of their aggregate.
+
+This bench puts 1 vs 4 measurement connections against two greedy
+background TCP flows on an 8 Mb/s bottleneck and compares aggregates.
+With n_bg greedy background flows, a k-connection probe expects roughly
+``k / (k + n_bg)`` of the capacity: 1/3 for k=1, 2/3 for k=4.
+"""
+
+from repro.netsim import LinkSpec, Simulator, build_path
+from repro.transport.tcp import TCPConfig, open_connection
+
+CAPACITY = 8e6
+N_BACKGROUND = 2
+
+
+def aggregate_share(n_connections, duration=120.0, settle=40.0):
+    sim = Simulator()
+    net = build_path(
+        sim,
+        [LinkSpec(CAPACITY, prop_delay=0.04, buffer_bytes=80_000, name="b")],
+    )
+    cfg = TCPConfig(min_rto=0.5)
+    background = [
+        open_connection(sim, net, config=cfg, start=0.0)
+        for _ in range(N_BACKGROUND)
+    ]
+    probes = [
+        open_connection(sim, net, config=cfg, start=5.0)
+        for _ in range(n_connections)
+    ]
+    sim.run(until=duration)
+    for sender, _r in background + probes:
+        sender.stop()
+    return sum(r.throughput_bps(settle, duration) for _s, r in probes)
+
+
+def test_parallel_connections_beat_single_btc(benchmark):
+    def study():
+        return {
+            "single_btc": aggregate_share(1),
+            "parallel_4": aggregate_share(4),
+        }
+
+    r = benchmark.pedantic(study, rounds=1, iterations=1)
+    expected_single = CAPACITY / (1 + N_BACKGROUND)
+    expected_parallel = CAPACITY * 4 / (4 + N_BACKGROUND)
+    print(
+        f"single BTC {r['single_btc'] / 1e6:.2f} Mb/s (fair share "
+        f"{expected_single / 1e6:.2f}) | 4 parallel {r['parallel_4'] / 1e6:.2f} "
+        f"Mb/s (fair share {expected_parallel / 1e6:.2f})"
+    )
+    # Section II's claim: parallel connections obtain an aggregate clearly
+    # above the single persistent connection's throughput (the BTC).
+    assert r["parallel_4"] > 1.3 * r["single_btc"]
+    # and each sits near its AIMD fair share
+    assert r["single_btc"] < 0.55 * CAPACITY
+    assert r["parallel_4"] > 0.45 * CAPACITY

@@ -1,0 +1,64 @@
+"""Extension: pathChirp-style chirps vs pathload — latency/overhead trade.
+
+Pathload's iterative search gives calibrated *ranges* at the cost of many
+fleets; a chirp train sweeps all rates in one shot.  This bench runs both
+on the same path and prints the three-way trade: accuracy, measurement
+latency, probe bytes.
+"""
+
+import numpy as np
+
+from repro.baselines.pathchirp import run_pathchirp
+from repro.experiments.base import fast_pathload_config, spawn_seeds
+from repro.netsim import Simulator, build_single_hop_path
+from repro.transport.probe import ProbeChannel, run_pathload
+
+TRUTH = 4e6
+
+
+def one_pathload(rng):
+    sim = Simulator()
+    setup = build_single_hop_path(sim, 10e6, 0.6, rng, prop_delay=0.01)
+    channel = ProbeChannel(sim, setup.network)
+    report = run_pathload(
+        sim, setup.network, config=fast_pathload_config(), start=2.0,
+        channel=channel, time_limit=600.0,
+    )
+    return report.mid_bps, report.duration, channel.bytes_sent
+
+
+def one_chirp_run(rng):
+    sim = Simulator()
+    setup = build_single_hop_path(sim, 10e6, 0.6, rng, prop_delay=0.01)
+    result = run_pathchirp(sim, setup.network, start=2.0)
+    return result.avail_bw_estimate_bps, result.duration, result.bytes_sent
+
+
+def test_pathchirp_vs_pathload_tradeoff(benchmark):
+    def study():
+        runs = 4
+        out = {}
+        for label, fn, seed in (
+            ("pathload", one_pathload, 777),
+            ("pathchirp", one_chirp_run, 778),
+        ):
+            rows = [fn(rng) for rng in spawn_seeds(seed, runs)]
+            estimates = np.array([r[0] for r in rows])
+            out[label] = {
+                "mean_error": float(np.mean(np.abs(estimates - TRUTH)) / TRUTH),
+                "mean_duration": float(np.mean([r[1] for r in rows])),
+                "mean_bytes": float(np.mean([r[2] for r in rows])),
+            }
+        return out
+
+    r = benchmark.pedantic(study, rounds=1, iterations=1)
+    for label, row in r.items():
+        print(
+            f"{label:9s}: |err| {row['mean_error']:.0%}  latency "
+            f"{row['mean_duration']:.1f} s  probe bytes {row['mean_bytes'] / 1e3:.0f} kB"
+        )
+    # both estimate the avail-bw to within ~50%
+    assert r["pathload"]["mean_error"] < 0.5
+    assert r["pathchirp"]["mean_error"] < 0.5
+    # the trade: chirps ship fewer probe bytes than a full pathload run
+    assert r["pathchirp"]["mean_bytes"] < r["pathload"]["mean_bytes"]

@@ -1,0 +1,63 @@
+"""Extension: a delay-based (Vegas) bulk transfer as a gentle avail-bw probe.
+
+Section VII shows that a Reno BTC connection measures *more* than the
+avail-bw — it fills the drop-tail queue, inflates everyone's RTT, and
+forces other flows to yield.  Section II notes that delay-based congestion
+control (Vegas et al.) shares SLoPS' core signal: rising delays mean the
+rate exceeds the spare capacity.
+
+Putting the two together: a **Vegas** bulk transfer should stabilize near
+the true avail-bw *without* saturating the path — closer in spirit to
+pathload than to a Reno BTC.  This bench runs both flavors through the
+Section VII testbed and compares throughput overshoot and RTT inflation.
+"""
+
+import numpy as np
+
+from repro.experiments.sectionvii import build_testbed
+from repro.transport.tcp import TCPConfig, open_connection
+
+
+def btc_run(cc: str, seed=150, interval=90.0):
+    bed = build_testbed(seed=seed, interval=interval, ping_interval=1.0)
+    sim = bed.sim
+    start, end = bed.schedule.bounds("B")
+    sim.run(until=start)
+    sender, receiver = open_connection(
+        sim, bed.network,
+        config=TCPConfig(congestion_control=cc, min_rto=0.5), start=start,
+    )
+    sim.run(until=end)
+    sender.stop()
+    sim.run(until=bed.schedule.bounds("C")[1] + 0.1)
+    rtts = np.array(bed.interval_rtts("B"))
+    return {
+        "quiet_avail": bed.interval_avail_bw("A"),
+        "throughput": receiver.throughput_bps(start + interval / 3, end),
+        "rtt_mean": float(rtts.mean()),
+        "rtt_max": float(rtts.max()),
+        "retransmits": sender.retransmits,
+    }
+
+
+def test_vegas_btc_measures_gently(benchmark):
+    def study():
+        return {"reno": btc_run("reno"), "vegas": btc_run("vegas")}
+
+    r = benchmark.pedantic(study, rounds=1, iterations=1)
+    for cc, row in r.items():
+        print(
+            f"{cc:5s}: avail {row['quiet_avail'] / 1e6:.2f} -> BTC "
+            f"{row['throughput'] / 1e6:.2f} Mb/s, RTT mean "
+            f"{row['rtt_mean'] * 1e3:.0f} ms max {row['rtt_max'] * 1e3:.0f} ms, "
+            f"retx {row['retransmits']}"
+        )
+    reno, vegas = r["reno"], r["vegas"]
+    avail = vegas["quiet_avail"]
+    # Reno overshoots the prior avail-bw (the Fig. 15 stealing effect)...
+    assert reno["throughput"] > 1.2 * avail
+    # ...Vegas lands near it
+    assert abs(vegas["throughput"] - avail) < 0.25 * avail
+    # and does so without the Fig. 16 RTT inflation
+    assert vegas["rtt_max"] < reno["rtt_mean"]
+    assert vegas["rtt_mean"] - 0.2 < 0.3 * (reno["rtt_mean"] - 0.2)

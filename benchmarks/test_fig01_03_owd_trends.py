@@ -1,0 +1,17 @@
+"""Bench: regenerate Figs. 1-3 (OWD trends of single periodic streams)."""
+
+from repro.experiments import fig01_03_owd
+
+from .conftest import run_figure
+
+
+def test_fig01_03_owd_trends(benchmark, bench_scale):
+    result = run_figure(benchmark, fig01_03_owd.run, None)
+    rows = {row["figure"]: row for row in result.rows}
+    # Fig 1 (R > A): a clear increasing trend, verdict I.
+    assert rows["fig1"]["verdict"] == "I"
+    assert rows["fig1"]["owd_rise_ms"] > 0.1
+    # Fig 2 (R < A): no increasing trend.
+    assert rows["fig2"]["verdict"] == "N"
+    # Fig 3 (R ~ A): between the two regimes on both metrics.
+    assert rows["fig2"]["pdt"] <= rows["fig3"]["pdt"] <= rows["fig1"]["pdt"]

@@ -1,0 +1,37 @@
+"""Bench: regenerate Fig. 5 (accuracy vs tight-link load, two traffic
+models)."""
+
+from repro.experiments import fig05_load
+
+from .conftest import run_figure
+
+
+def test_fig05_accuracy_vs_load(benchmark, bench_scale):
+    result = run_figure(benchmark, fig05_load.run, bench_scale)
+    # Paper shape: the averaged range includes the true avail-bw at every
+    # load and under both traffic models.  Pathload's spec only promises
+    # the truth to within the resolution omega (1 Mb/s), so count a range
+    # that misses by less than omega as a (marginal) hit — at paper scale
+    # (50 runs) the strict check holds; a 3-run average can sit omega-close.
+    omega_mbps = 1.0
+    marginal_hits = sum(
+        1
+        for r in result.rows
+        if r["avg_low_mbps"] - omega_mbps
+        <= r["true_avail_mbps"]
+        <= r["avg_high_mbps"] + omega_mbps
+    )
+    assert marginal_hits == len(result.rows)
+    assert sum(result.column("contains_truth")) >= len(result.rows) // 2
+    # Range centers track the truth as load varies (monotone in avail-bw).
+    for traffic in ("poisson", "pareto"):
+        rows = [r for r in result.rows if r["traffic"] == traffic]
+        centers = [r["center_mbps"] for r in rows]
+        truths = [r["true_avail_mbps"] for r in rows]
+        # truth decreases with utilization; centers must follow
+        assert all(c1 > c2 for c1, c2 in zip(centers, centers[1:])), (
+            f"{traffic}: centers {centers} not decreasing with load"
+        )
+        # centers within 50% of truth everywhere (paper: much closer)
+        for c, t in zip(centers, truths):
+            assert abs(c - t) / t < 0.5

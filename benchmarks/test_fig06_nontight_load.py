@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 6 (accuracy vs nontight-link load, H=3/5)."""
+
+from repro.experiments import fig06_nontight
+
+from .conftest import run_figure
+
+
+def test_fig06_nontight_load(benchmark, bench_scale):
+    result = run_figure(benchmark, fig06_nontight.run, bench_scale)
+    # Paper shape: nontight links do not break the estimate — the range
+    # includes the truth regardless of their number or load.
+    contains = result.column("contains_truth")
+    assert sum(contains) >= len(contains) - 1
+    # Centers stay near the (constant) 4 Mb/s truth.
+    for row in result.rows:
+        assert abs(row["center_error"]) < 0.5

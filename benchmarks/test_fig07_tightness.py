@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 7 (accuracy vs path tightness factor beta)."""
+
+from repro.experiments import fig07_tightness
+
+from .conftest import run_figure
+
+
+def test_fig07_tightness(benchmark, bench_scale):
+    result = run_figure(benchmark, fig07_tightness.run, bench_scale)
+    # Paper shape: accurate for beta well below 1, underestimation as
+    # beta -> 1 (multiple tight links).
+    for hops in (3, 5):
+        rows = {r["beta"]: r for r in result.rows if r["hops"] == hops}
+        # single-tight-link regime: range contains the truth
+        assert rows[0.3]["contains_truth"]
+        # multiple tight links bias the center downward relative to beta=0.3
+        assert rows[1.0]["center_mbps"] < rows[0.3]["center_mbps"]
+    # the underestimation at beta=1 is at least as bad for H=5 as H=3
+    h3 = next(r for r in result.rows if r["hops"] == 3 and r["beta"] == 1.0)
+    h5 = next(r for r in result.rows if r["hops"] == 5 and r["beta"] == 1.0)
+    assert h5["center_error"] <= h3["center_error"] + 0.15

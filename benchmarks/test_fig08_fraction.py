@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 8 (range width vs fleet fraction f)."""
+
+from repro.experiments import fig08_fraction
+
+from .conftest import run_figure
+
+
+def test_fig08_fraction(benchmark, bench_scale):
+    result = run_figure(benchmark, fig08_fraction.run, bench_scale)
+    widths = result.column("avg_width_mbps")
+    fractions = result.column("fraction")
+    # Paper shape: larger f -> more grey fleets -> wider reported range.
+    # Compare the extremes (middle points are noisy at reduced scale).
+    assert widths[-1] >= widths[0], (
+        f"width at f={fractions[-1]} ({widths[-1]:.2f}) not >= width at "
+        f"f={fractions[0]} ({widths[0]:.2f})"
+    )
+    # grey fleets become more common as f grows
+    grey = result.column("grey_fraction_of_fleets")
+    assert grey[-1] >= grey[0]

@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 9 (estimate vs PDT threshold, PCT disabled)."""
+
+from repro.experiments import fig09_pdt_threshold
+
+from .conftest import run_figure
+
+
+def test_fig09_pdt_threshold(benchmark, bench_scale):
+    result = run_figure(benchmark, fig09_pdt_threshold.run, bench_scale)
+    rows = result.rows
+    truth = rows[0]["true_avail_mbps"]
+    centers = {r["pdt_threshold"]: r["center_mbps"] for r in rows}
+    # Paper shape: too-small threshold underestimates, too-large
+    # overestimates, and the estimate center rises with the threshold.
+    assert centers[0.05] < truth
+    assert centers[0.95] > centers[0.05]
+    assert centers[0.95] > truth * 0.9
+    # the extremes straddle the operating point
+    assert centers[0.05] <= centers[0.4] <= centers[0.95]

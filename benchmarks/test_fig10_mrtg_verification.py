@@ -1,0 +1,29 @@
+"""Bench: regenerate Fig. 10 (pathload vs MRTG, tight != narrow link)."""
+
+from repro.experiments import fig10_mrtg
+
+from .conftest import run_figure
+
+
+def test_fig10_mrtg_verification(benchmark, bench_scale):
+    # each trial weighted-averages the pathload runs inside one MRTG window;
+    # windows shorter than ~60 s often contain a single run, making the
+    # average as noisy as one run — keep a 60 s floor (paper: 300 s).
+    from repro.experiments.base import Scale
+
+    scale = Scale(
+        runs=bench_scale.runs,
+        interval=max(bench_scale.interval, 60.0),
+        full=bench_scale.full,
+    )
+    trials = 12 if bench_scale.full else 6
+    result = run_figure(benchmark, fig10_mrtg.run, scale, trials=trials)
+    # Paper shape: the weighted pathload average falls within the MRTG band
+    # in most runs (10/12), and deviations are marginal otherwise.
+    within = result.column("within_band")
+    deviations = result.column("deviation_mbps")
+    band = result.rows[0]["mrtg_hi_mbps"] - result.rows[0]["mrtg_lo_mbps"]
+    assert sum(within) >= len(within) // 2
+    for w, d in zip(within, deviations):
+        if not w:
+            assert d <= 1.5 * band, f"deviation {d} Mb/s is not marginal"

@@ -1,0 +1,36 @@
+"""Bench: regenerate Fig. 11 (avail-bw variability vs tight-link load)."""
+
+from repro.experiments import fig11_load_variability
+
+from .conftest import run_figure
+
+
+def median_rho(result, condition_col, condition):
+    row = next(
+        r
+        for r in result.rows
+        if r[condition_col] == condition and r["percentile"] == 45
+    )
+    return row["rho"]
+
+
+def test_fig11_variability_vs_load(benchmark, bench_scale):
+    from repro.experiments.base import Scale
+
+    scale = Scale(
+        runs=max(bench_scale.runs, 10),
+        interval=bench_scale.interval,
+        full=bench_scale.full,
+    )
+    result = run_figure(benchmark, fig11_load_variability.run, scale)
+    # Paper shape: rho increases with the tight-link utilization.
+    light = median_rho(result, "load_range", "20-30%")
+    heavy = median_rho(result, "load_range", "75-85%")
+    assert heavy > light, f"rho(heavy)={heavy:.2f} not > rho(light)={light:.2f}"
+    # the paper sees roughly 5x at the 75th percentile; require a clear gap
+    p75 = {
+        r["load_range"]: r["rho"]
+        for r in result.rows
+        if r["percentile"] == 75
+    }
+    assert p75["75-85%"] >= 1.5 * p75["20-30%"]

@@ -1,0 +1,25 @@
+"""Bench: regenerate Fig. 12 (variability vs statistical multiplexing)."""
+
+from repro.experiments import fig12_multiplexing
+
+from .conftest import run_figure
+
+
+def test_fig12_multiplexing(benchmark, bench_scale):
+    from repro.experiments.base import Scale
+
+    scale = Scale(
+        runs=max(bench_scale.runs, 6),
+        interval=bench_scale.interval,
+        full=bench_scale.full,
+    )
+    result = run_figure(benchmark, fig12_multiplexing.run, scale)
+    # Paper shape: at equal utilization, the highly multiplexed wide path
+    # (A) shows the least variability, the narrow path (C) the most.
+    p75 = {r["path"]: r["rho"] for r in result.rows if r["percentile"] == 75}
+    assert p75["A-155Mbps"] < p75["C-6.1Mbps"], (
+        f"rho A={p75['A-155Mbps']:.2f} not < rho C={p75['C-6.1Mbps']:.2f}"
+    )
+    # B sits between A and C (allow slack at reduced scale)
+    assert p75["A-155Mbps"] <= p75["B-12.4Mbps"] * 1.5
+    assert p75["B-12.4Mbps"] <= p75["C-6.1Mbps"] * 1.5

@@ -1,0 +1,27 @@
+"""Bench: regenerate Fig. 13 (variability vs stream length K)."""
+
+from repro.experiments import fig13_stream_length
+
+from .conftest import run_figure
+
+
+def test_fig13_stream_length(benchmark, bench_scale):
+    from repro.experiments.base import Scale
+
+    scale = Scale(
+        runs=max(bench_scale.runs, 8),
+        interval=bench_scale.interval,
+        full=bench_scale.full,
+    )
+    result = run_figure(benchmark, fig13_stream_length.run, scale)
+    # Paper shape: longer streams (wider averaging timescale) => smaller rho.
+    p75 = {
+        r["stream_length"]: r["rho"]
+        for r in result.rows
+        if r["percentile"] == 75
+    }
+    shortest, longest = min(p75), max(p75)
+    assert p75[longest] < p75[shortest], (
+        f"rho(K={longest})={p75[longest]:.2f} not < "
+        f"rho(K={shortest})={p75[shortest]:.2f}"
+    )

@@ -1,0 +1,38 @@
+"""Bench: regenerate Fig. 14 (variability vs fleet length N)."""
+
+from repro.experiments import fig14_fleet_length
+from repro.experiments.base import Scale
+
+from .conftest import run_figure
+
+
+def test_fig14_fleet_length(benchmark, bench_scale):
+    # percentile curves need more than a few samples per N; keep this
+    # experiment's run count at a usable floor even at reduced scale
+    scale = Scale(
+        runs=max(bench_scale.runs, 10),
+        interval=bench_scale.interval,
+        full=bench_scale.full,
+    )
+    result = run_figure(benchmark, fig14_fleet_length.run, scale)
+    by_n = lambda p: {
+        r["fleet_length"]: r["rho"] for r in result.rows if r["percentile"] == p
+    }
+    iqr = {
+        r["fleet_length"]: r["iqr_rho"] for r in result.rows if r["percentile"] == 75
+    }
+    shortest, longest = min(iqr), max(iqr)
+    # Paper shape, part 1: a longer fleet widens the window in which the
+    # avail-bw can wander across the fleet rate, so grey verdicts — and a
+    # non-trivial reported range — become near-certain.  Visible at the low
+    # percentiles: short fleets sometimes get away with a tiny range, long
+    # fleets essentially never do.
+    p15 = by_n(15)
+    assert p15[longest] >= p15[shortest], (
+        f"p15 rho: N={longest} {p15[longest]:.2f} < N={shortest} {p15[shortest]:.2f}"
+    )
+    # Paper shape, part 2: the CDF steepens — run-to-run spread shrinks as
+    # the measurement period grows.
+    assert iqr[longest] <= iqr[shortest], (
+        f"IQR: N={longest} {iqr[longest]:.2f} > N={shortest} {iqr[shortest]:.2f}"
+    )

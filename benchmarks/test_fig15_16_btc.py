@@ -1,0 +1,38 @@
+"""Bench: regenerate Figs. 15-16 (BTC vs avail-bw; RTT under BTC)."""
+
+from repro.experiments import fig15_16_btc
+
+from .conftest import run_figure
+
+
+def test_fig15_16_btc(benchmark, bench_scale):
+    # TCP Reno needs tens of seconds to reach its steady share on this
+    # high-BDP path (RTT 200 ms); keep the intervals long enough that the
+    # steady state dominates the average, as the paper's 300-s intervals do.
+    from repro.experiments.base import Scale
+
+    scale = Scale(
+        runs=bench_scale.runs,
+        interval=max(bench_scale.interval, 90.0),
+        full=bench_scale.full,
+    )
+    result = run_figure(benchmark, fig15_16_btc.run, scale)
+    rows = {r["interval"]: r for r in result.rows}
+    quiet_avail = rows["A"]["avail_bw_mbps"]
+
+    # Fig 15 shape: the BTC connection saturates the path (short simulated
+    # intervals include the Reno ramp, so allow a bit more residue than the
+    # paper's <0.5 Mb/s over 300 s)...
+    for name in ("B", "D"):
+        assert rows[name]["avail_bw_mbps"] < 0.35 * quiet_avail
+    # ...and its steady throughput exceeds the prior avail-bw (it steals
+    # bandwidth from the background TCP flows).
+    assert rows["B"]["btc_throughput_mbps"] > quiet_avail
+    # 1-second samples are highly variable around the average (the paper
+    # sees dips to a few hundred kb/s within its 5-minute intervals).
+    assert rows["B"]["btc_min_1s_mbps"] < 0.7 * rows["B"]["btc_throughput_mbps"]
+    assert rows["B"]["btc_max_1s_mbps"] > 1.1 * rows["B"]["btc_throughput_mbps"]
+
+    # Fig 16 shape: RTTs inflate and jitter grows during the BTC intervals.
+    assert rows["B"]["rtt_max_ms"] > rows["A"]["rtt_max_ms"] + 50
+    assert rows["B"]["rtt_std_ms"] > 5 * max(rows["A"]["rtt_std_ms"], 0.5)

@@ -1,0 +1,25 @@
+"""Bench: regenerate Figs. 17-18 (pathload is non-intrusive)."""
+
+from repro.experiments import fig17_18_intrusiveness
+
+from .conftest import run_figure
+
+
+def test_fig17_18_intrusiveness(benchmark, bench_scale):
+    result = run_figure(benchmark, fig17_18_intrusiveness.run, bench_scale)
+    rows = {r["interval"]: r for r in result.rows}
+    quiet_avail = rows["A"]["avail_bw_mbps"]
+
+    # Fig 17 shape: no meaningful avail-bw decrease while pathload runs
+    # (contrast with the >75% collapse under BTC in Fig 15).
+    for name in ("B", "D"):
+        assert rows[name]["avail_bw_mbps"] > 0.8 * quiet_avail
+
+    # Fig 18 shape: no persistent RTT increase (mean within a couple ms),
+    # far from the BTC case's +50 ms inflation.
+    assert rows["B"]["rtt_mean_ms"] < rows["A"]["rtt_mean_ms"] + 5
+    assert rows["D"]["rtt_mean_ms"] < rows["A"]["rtt_mean_ms"] + 5
+
+    # No stream or ping losses.
+    assert all(r["probe_loss_rate"] == 0.0 for r in result.rows)
+    assert all(r["ping_losses"] == 0 for r in result.rows)

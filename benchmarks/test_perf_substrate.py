@@ -1,0 +1,98 @@
+"""Performance benchmarks of the simulation substrate itself.
+
+Unlike the figure benchmarks (one-shot experiment regenerations), these
+use pytest-benchmark's statistical timing to track the substrate's speed:
+it is what makes paper-scale (`REPRO_FULL=1`) runs feasible on one core,
+so regressions here matter.
+"""
+
+import numpy as np
+
+from repro.core.fluid import FluidLink, FluidPath, run_controller_fluid
+from repro.core.pathload import PathloadController
+from repro.netsim import LinkSpec, Simulator, build_path, attach_cross_traffic
+from repro.netsim.packet import Packet
+from repro.transport.tcp import TCPConfig, open_connection
+
+
+def test_engine_event_throughput(benchmark):
+    """Raw scheduler: chained callbacks (one heap op per event)."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 50_000:
+                sim.schedule(1e-6, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 50_000
+
+
+def test_link_packet_throughput(benchmark):
+    """Store-and-forward forwarding cost per packet."""
+
+    def run():
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(1e9), LinkSpec(1e9), LinkSpec(1e9)])
+        delivered = [0]
+
+        def sink(_pkt):
+            delivered[0] += 1
+
+        for i in range(10_000):
+            net.send_forward(Packet(1000, seq=i), sink)
+        sim.run()
+        return delivered[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_cross_traffic_generation_rate(benchmark):
+    """Pareto source machinery: packets generated per simulated second."""
+
+    def run():
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(1e9)])
+        rng = np.random.default_rng(0)
+        attach_cross_traffic(
+            sim, net, net.forward_links[0], 50e6, rng, n_sources=10
+        )
+        sim.run(until=2.0)
+        return net.forward_links[0].stats.packets_forwarded
+
+    packets = benchmark(run)
+    assert packets > 20_000  # ~28k expected at 50 Mb/s, 441 B mean
+
+
+def test_tcp_segment_throughput(benchmark):
+    """Full TCP machinery: segments moved through a clean bottleneck."""
+
+    def run():
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(100e6, prop_delay=0.01, buffer_bytes=None)])
+        snd, rcv = open_connection(
+            sim, net, config=TCPConfig(min_rto=0.5), total_bytes=5_000_000,
+            start=0.0,
+        )
+        sim.run(until=30.0)
+        return rcv.delivered_bytes
+
+    assert benchmark(run) == 5_000_000
+
+
+def test_fluid_pathload_run(benchmark):
+    """A complete pathload measurement over the analytic fluid model."""
+
+    def run():
+        path = FluidPath([FluidLink(10e6, 4e6)], prop_delay=0.02)
+        report = run_controller_fluid(PathloadController(rtt=0.04), path)
+        return report
+
+    report = benchmark(run)
+    assert report.low_bps <= 4e6 <= report.high_bps

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Application: avail-bw-driven rate adaptation for a streaming source.
+
+The paper's conclusion motivates avail-bw measurement for "rate adaptation
+in streaming applications".  This example streams a session through a load
+surge twice: once at a fixed nominal rate (which overruns the path once the
+surge hits) and once adapting each segment's encoding rate to the latest
+pathload range.
+
+Run:  python examples/adaptive_streaming.py [seed]
+"""
+
+import sys
+
+from repro.apps import compare_streamers
+
+LADDER = (0.5e6, 1e6, 2e6, 4e6, 6e6)
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    print(
+        "path: 10 Mb/s tight link; background load surges from 30% to 75% "
+        "mid-session"
+    )
+    print(f"encoding ladder: {[r / 1e6 for r in LADDER]} Mb/s\n")
+    fixed, adaptive = compare_streamers(seed=seed, ladder_bps=LADDER)
+
+    def show(label, report):
+        rates = ", ".join(f"{r / 1e6:.1f}" for r in report.chosen_rates())
+        print(f"== {label}")
+        print(f"   segment rates (Mb/s): {rates}")
+        print(
+            f"   delivered at mean {report.mean_rate_bps / 1e6:.2f} Mb/s with "
+            f"{report.overall_loss_rate:.1%} packet loss"
+        )
+        worst = max((s.loss_rate for s in report.segments), default=0.0)
+        print(f"   worst segment loss: {worst:.1%}\n")
+
+    show("fixed 6 Mb/s", fixed)
+    show("adaptive (pathload before each segment)", adaptive)
+    if adaptive.overall_loss_rate < fixed.overall_loss_rate:
+        print(
+            "the adaptive client downshifted when the avail-bw collapsed; the "
+            "fixed client kept pushing 6 Mb/s into a saturated link."
+        )
+
+
+if __name__ == "__main__":
+    main()

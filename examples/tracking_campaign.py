@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Track a path's avail-bw over time with a measurement campaign.
+
+Keeps one simulated path alive while its background load shifts (an extra
+traffic aggregate arrives mid-experiment), runs pathload repeatedly, and
+prints the measured ranges next to the link monitor's ground truth — the
+operational workflow behind the paper's Fig. 10 and Section VI.
+
+Run:  python examples/tracking_campaign.py
+"""
+
+import numpy as np
+
+from repro.campaign import MeasurementCampaign
+from repro.core.config import PathloadConfig
+from repro.netsim import Simulator, build_single_hop_path
+from repro.netsim.crosstraffic import attach_cross_traffic
+
+CAPACITY = 10e6
+SURGE_AT = 40.0
+
+
+def main() -> None:
+    sim = Simulator()
+    rng = np.random.default_rng(5)
+    setup = build_single_hop_path(
+        sim, CAPACITY, 0.25, rng, prop_delay=0.01, modulation=(2.0, 0.15)
+    )
+    # an extra 4 Mb/s aggregate arrives mid-campaign: avail 7.5 -> 3.5 Mb/s
+    attach_cross_traffic(
+        sim, setup.network, setup.tight_link, 4e6,
+        np.random.default_rng(77), start=SURGE_AT,
+    )
+    campaign = MeasurementCampaign(
+        sim,
+        setup.network,
+        setup.tight_link,
+        config=PathloadConfig(),  # idle_factor=9: non-intrusive, so the
+        # monitor's readings are not depressed by the probe's own bytes
+        gap=3.0,
+        monitor_window=10.0,
+    )
+    print(
+        f"path: {CAPACITY / 1e6:.0f} Mb/s tight link at 25% load; +4 Mb/s "
+        f"surge at t={SURGE_AT:.0f}s\n"
+    )
+    result = campaign.run(8, time_limit=400.0)
+
+    truth = dict(
+        (round(t), a) for t, a in result.monitor_series
+    )
+    print(f"{'t (s)':>7} {'pathload range (Mb/s)':>24} {'monitor avail-bw':>17}")
+    for t, lo, hi in result.measured_series():
+        nearest = min(truth, key=lambda k: abs(k - t))
+        print(
+            f"{t:7.1f} {f'[{lo / 1e6:5.2f}, {hi / 1e6:5.2f}]':>24} "
+            f"{truth[nearest] / 1e6:14.2f}"
+        )
+    coverage = result.coverage_fraction(slack_bps=1.5e6)
+    print(
+        f"\n{coverage:.0%} of measurements covered the monitored avail-bw "
+        "(within the grey resolution)."
+    )
+    print("the measured series steps down when the surge arrives — the tool")
+    print("tracks the avail-bw process, not just a one-shot average.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+"""Statistics helpers used across the dynamics experiments (Section VI).
+
+The paper characterizes avail-bw variability via the **relative variation
+metric** (Eq. 12)::
+
+    rho = (R_hi - R_lo) / ((R_hi + R_lo) / 2)
+
+computed per pathload run, then plotted as the {5, 15, ..., 95} percentile
+CDF over ~110 runs per operating condition (Figs. 11-14).  This module
+provides rho, the percentile-grid CDF, and the weighted averaging rule
+(Eq. 11) used to compare consecutive pathload runs against a 5-minute MRTG
+window (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "relative_variation",
+    "percentile_grid",
+    "cdf_points",
+    "weighted_range_average",
+    "summarize_ranges",
+    "RangeSummary",
+]
+
+#: The percentile grid the paper plots: {5, 15, ..., 95}.
+PAPER_PERCENTILES: tuple[int, ...] = tuple(range(5, 100, 10))
+
+
+def relative_variation(low_bps: float, high_bps: float) -> float:
+    """The paper's rho (Eq. 12): range width over range center.
+
+    Zero-width ranges give 0; a degenerate [0, 0] range also gives 0.
+    """
+    if high_bps < low_bps:
+        raise ValueError(f"need high >= low, got [{low_bps}, {high_bps}]")
+    center = (high_bps + low_bps) / 2.0
+    if center == 0:
+        return 0.0
+    return (high_bps - low_bps) / center
+
+
+def percentile_grid(
+    values: Sequence[float], percentiles: Sequence[int] = PAPER_PERCENTILES
+) -> list[tuple[int, float]]:
+    """[(percentile, value), ...] over the paper's {5,...,95} grid."""
+    if len(values) == 0:
+        raise ValueError("no values to summarize")
+    arr = np.asarray(values, dtype=np.float64)
+    return [(int(p), float(np.percentile(arr, p))) for p in percentiles]
+
+
+def cdf_points(values: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF as (sorted values, cumulative probabilities)."""
+    if len(values) == 0:
+        raise ValueError("no values for a CDF")
+    xs = np.sort(np.asarray(values, dtype=np.float64))
+    ps = np.arange(1, len(xs) + 1) / len(xs)
+    return xs, ps
+
+
+def weighted_range_average(
+    runs: Iterable[tuple[float, float, float]]
+) -> tuple[float, float]:
+    """The paper's Eq. (11): duration-weighted average of pathload ranges.
+
+    ``runs`` yields ``(duration, low_bps, high_bps)`` for the consecutive
+    pathload runs inside one comparison window; the result is the weighted
+    average of range centers together with the weighted average width,
+    returned as a (low, high) pair for comparison against an MRTG reading.
+    """
+    runs = list(runs)
+    if not runs:
+        raise ValueError("no runs to average")
+    total = sum(d for d, _lo, _hi in runs)
+    if total <= 0:
+        raise ValueError("total duration must be positive")
+    low = sum(d * lo for d, lo, _hi in runs) / total
+    high = sum(d * hi for d, _lo, hi in runs) / total
+    return low, high
+
+
+@dataclass(frozen=True)
+class RangeSummary:
+    """Aggregate of many pathload ranges for one experimental condition."""
+
+    mean_low_bps: float
+    mean_high_bps: float
+    cv_low: float
+    cv_high: float
+    n_runs: int
+
+    @property
+    def mean_center_bps(self) -> float:
+        """Center of the averaged range."""
+        return (self.mean_low_bps + self.mean_high_bps) / 2.0
+
+
+def summarize_ranges(ranges: Sequence[tuple[float, float]]) -> RangeSummary:
+    """Average lower/upper bounds over repeated runs (the Fig. 5-7 readout).
+
+    The paper averages the 50 lower bounds and the 50 upper bounds
+    separately and reports the coefficient of variation of each (typically
+    0.10-0.30 in their simulations).
+    """
+    if not ranges:
+        raise ValueError("no ranges to summarize")
+    lows = np.array([lo for lo, _hi in ranges], dtype=np.float64)
+    highs = np.array([hi for _lo, hi in ranges], dtype=np.float64)
+    mean_low = float(lows.mean())
+    mean_high = float(highs.mean())
+    cv_low = float(lows.std() / mean_low) if mean_low > 0 else 0.0
+    cv_high = float(highs.std() / mean_high) if mean_high > 0 else 0.0
+    return RangeSummary(
+        mean_low_bps=mean_low,
+        mean_high_bps=mean_high,
+        cv_low=cv_low,
+        cv_high=cv_high,
+        n_runs=len(ranges),
+    )

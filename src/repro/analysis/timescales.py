@@ -1,0 +1,119 @@
+"""Avail-bw process analysis across averaging timescales.
+
+The paper's introduction frames the difficulty of avail-bw measurement
+around the process ``A(t, t+tau)``: its variance decreases as the
+averaging timescale ``tau`` grows, and *slowly* (sub-linearly in ``1/tau``)
+when the traffic is self-similar (Leland et al.).  Section VI-C then
+exploits exactly this: longer streams average over wider ``tau`` and see
+less variability.
+
+This module makes the claim measurable inside the repo:
+
+* :func:`avail_bw_process` samples ``A(t, t+tau)`` at a base timescale
+  from a link's byte counters;
+* :func:`aggregate_series` re-averages the base series at multiples of the
+  base timescale (the classic aggregated-variance method);
+* :func:`variance_time_curve` returns ``(tau, var)`` pairs, and
+  :func:`estimate_hurst` fits the aggregated-variance slope
+  ``var(tau) ~ tau^(2H-2)`` — H ≈ 0.5 for Poisson-like traffic, H → 1 for
+  strongly self-similar traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..netsim.engine import Simulator
+from ..netsim.link import Link
+
+__all__ = [
+    "avail_bw_process",
+    "aggregate_series",
+    "variance_time_curve",
+    "estimate_hurst",
+]
+
+
+def avail_bw_process(
+    sim: Simulator,
+    link: Link,
+    duration: float,
+    base_tau: float = 0.05,
+    start: float = 0.0,
+) -> np.ndarray:
+    """Sample ``A(t, t+tau)`` over ``duration`` at timescale ``base_tau``.
+
+    Advances the simulation as a side effect (like the monitors, it reads
+    the link's cumulative byte counter at window boundaries).  Returns the
+    avail-bw per window, in b/s.
+    """
+    if base_tau <= 0:
+        raise ValueError(f"base_tau must be positive, got {base_tau}")
+    if duration < 2 * base_tau:
+        raise ValueError("duration must cover at least two windows")
+    samples = []
+    sim.run(until=start)
+    prev = link.stats.bytes_forwarded
+    t = start
+    while t + base_tau <= start + duration + 1e-12:
+        t += base_tau
+        sim.run(until=t)
+        total = link.stats.bytes_forwarded
+        utilization = (total - prev) * 8.0 / base_tau / link.capacity_bps
+        samples.append(link.capacity_bps * (1.0 - utilization))
+        prev = total
+    return np.array(samples, dtype=np.float64)
+
+
+def aggregate_series(series: Sequence[float], factor: int) -> np.ndarray:
+    """Average consecutive blocks of ``factor`` samples (trailing remainder
+    dropped)."""
+    series = np.asarray(series, dtype=np.float64)
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    n = (len(series) // factor) * factor
+    if n == 0:
+        raise ValueError("series shorter than one aggregation block")
+    return series[:n].reshape(-1, factor).mean(axis=1)
+
+
+def variance_time_curve(
+    series: Sequence[float],
+    base_tau: float,
+    factors: Optional[Sequence[int]] = None,
+) -> list[tuple[float, float]]:
+    """``(tau, variance)`` of the aggregated avail-bw process.
+
+    ``factors`` defaults to powers of two that leave at least 8 blocks.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if factors is None:
+        factors = []
+        f = 1
+        while len(series) // f >= 8:
+            factors.append(f)
+            f *= 2
+    curve = []
+    for factor in factors:
+        agg = aggregate_series(series, factor)
+        curve.append((base_tau * factor, float(np.var(agg))))
+    return curve
+
+
+def estimate_hurst(curve: Sequence[tuple[float, float]]) -> float:
+    """Hurst estimate from the aggregated-variance slope.
+
+    Fits ``log var = (2H - 2) log tau + c``; H = 0.5 means independent
+    increments, H > 0.5 long-range dependence.  Requires >= 3 points with
+    positive variance.
+    """
+    points = [(tau, var) for tau, var in curve if var > 0]
+    if len(points) < 3:
+        raise ValueError("need at least 3 positive-variance points")
+    taus = np.log([tau for tau, _v in points])
+    variances = np.log([var for _t, var in points])
+    slope = float(np.polyfit(taus, variances, 1)[0])
+    hurst = 1.0 + slope / 2.0
+    return float(np.clip(hurst, 0.0, 1.0))

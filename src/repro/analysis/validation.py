@@ -1,0 +1,65 @@
+"""Validation helpers: compare pathload output against ground truth.
+
+In simulation the long-run average avail-bw is a configured quantity, so
+accuracy can be scored exactly: does the reported range include it
+(the paper's headline claim for Figs. 5-6), and how far is the range
+center from it (the paper: within ~10 % for single-tight-link paths)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["RangeValidation", "validate_range", "validate_many"]
+
+
+@dataclass(frozen=True)
+class RangeValidation:
+    """Accuracy scorecard of one reported range against a known truth."""
+
+    low_bps: float
+    high_bps: float
+    truth_bps: float
+
+    @property
+    def contains_truth(self) -> bool:
+        """True when the range brackets the true average avail-bw."""
+        return self.low_bps <= self.truth_bps <= self.high_bps
+
+    @property
+    def center_bps(self) -> float:
+        """Center of the reported range."""
+        return (self.low_bps + self.high_bps) / 2.0
+
+    @property
+    def center_error(self) -> float:
+        """Signed relative error of the range center vs. truth."""
+        if self.truth_bps == 0:
+            raise ValueError("truth avail-bw is zero; relative error undefined")
+        return (self.center_bps - self.truth_bps) / self.truth_bps
+
+    @property
+    def underestimates(self) -> bool:
+        """True when the whole range sits below the truth (the Fig. 7
+        multiple-tight-links failure mode)."""
+        return self.high_bps < self.truth_bps
+
+    @property
+    def overestimates(self) -> bool:
+        """True when the whole range sits above the truth."""
+        return self.low_bps > self.truth_bps
+
+
+def validate_range(low_bps: float, high_bps: float, truth_bps: float) -> RangeValidation:
+    """Score one (low, high) range against the true average avail-bw."""
+    if high_bps < low_bps:
+        raise ValueError(f"invalid range [{low_bps}, {high_bps}]")
+    return RangeValidation(low_bps=low_bps, high_bps=high_bps, truth_bps=truth_bps)
+
+
+def validate_many(
+    ranges: Sequence[tuple[float, float]], truth_bps: float
+) -> list[RangeValidation]:
+    """Score many runs at once."""
+    return [validate_range(lo, hi, truth_bps) for lo, hi in ranges]

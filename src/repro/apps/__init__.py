@@ -1,0 +1,25 @@
+"""Applications of avail-bw measurement (the paper's conclusion list).
+
+* :mod:`~repro.apps.ssthresh` — tuning TCP's initial ssthresh from a
+  pathload estimate (the Allman & Paxson use case).
+* :mod:`~repro.apps.streaming` — measure-then-stream rate adaptation over
+  an encoding ladder.
+"""
+
+from .ssthresh import SlowStartComparison, compare_slow_start, tuned_tcp_config
+from .streaming import (
+    AdaptiveStreamer,
+    FixedStreamer,
+    StreamerReport,
+    compare_streamers,
+)
+
+__all__ = [
+    "AdaptiveStreamer",
+    "FixedStreamer",
+    "SlowStartComparison",
+    "StreamerReport",
+    "compare_slow_start",
+    "compare_streamers",
+    "tuned_tcp_config",
+]

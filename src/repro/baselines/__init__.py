@@ -1,0 +1,33 @@
+"""Baseline bandwidth-measurement methods the paper compares against.
+
+* :mod:`~repro.baselines.cprobe` — packet-train dispersion (measures the
+  ADR, *not* the avail-bw — reproducing that distinction is the point).
+* :mod:`~repro.baselines.packetpair` — packet-pair capacity estimation.
+* :mod:`~repro.baselines.topp` — TOPP rate-sweep avail-bw estimation.
+* :mod:`~repro.baselines.delphi` — Delphi-style single-queue cross-traffic
+  estimation (and its tight-vs-narrow failure mode).
+* :mod:`~repro.baselines.btc` — bulk transfer capacity via greedy TCP
+  (Section VII's measurement approach).
+"""
+
+from .btc import BTCResult, run_btc
+from .cprobe import CprobeResult, run_cprobe
+from .delphi import DelphiResult, run_delphi
+from .packetpair import PacketPairResult, run_packet_pair
+from .pathchirp import ChirpResult, run_pathchirp
+from .topp import ToppResult, run_topp
+
+__all__ = [
+    "BTCResult",
+    "CprobeResult",
+    "DelphiResult",
+    "ChirpResult",
+    "PacketPairResult",
+    "ToppResult",
+    "run_btc",
+    "run_cprobe",
+    "run_delphi",
+    "run_packet_pair",
+    "run_pathchirp",
+    "run_topp",
+]

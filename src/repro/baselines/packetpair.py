@@ -1,0 +1,80 @@
+"""Packet-pair capacity estimation.
+
+The classic Keshav/bprobe technique the paper contrasts with avail-bw
+measurement: two packets sent back-to-back are spaced by the *narrow*
+link's serialization time, so the receiver-side gap estimates the
+end-to-end **capacity** ``C = L*8 / gap`` — not the avail-bw.  Cross
+traffic perturbs individual pairs, so the estimator takes the statistical
+mode of many samples (histogram-binned), per the packet-dispersion
+literature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.probing import StreamSpec
+from ..netsim.engine import Simulator
+from ..netsim.path import PathNetwork
+from ..transport.probe import ProbeChannel
+
+__all__ = ["PacketPairResult", "run_packet_pair"]
+
+
+@dataclass(frozen=True)
+class PacketPairResult:
+    """Capacity estimate plus the raw per-pair samples."""
+
+    capacity_estimate_bps: float
+    pair_rates_bps: tuple[float, ...]
+    n_pairs: int
+
+
+def run_packet_pair(
+    sim: Simulator,
+    network: PathNetwork,
+    n_pairs: int = 50,
+    packet_size: int = 1500,
+    spacing: float = 0.1,
+    start: float = 0.0,
+    n_bins: int = 40,
+    channel: Optional[ProbeChannel] = None,
+) -> PacketPairResult:
+    """Estimate path capacity from back-to-back packet pairs.
+
+    Each pair is a 2-packet "stream" at twice the path capacity (so the
+    pair is compressed to back-to-back at the narrow link).  The per-pair
+    dispersion rates are histogrammed and the densest bin's center is the
+    capacity estimate (capacity mode).
+    """
+    if n_pairs < 1:
+        raise ValueError(f"need at least one pair, got {n_pairs}")
+    if channel is None:
+        channel = ProbeChannel(sim, network)
+    rates: list[float] = []
+    clock = start
+    for _i in range(n_pairs):
+        spec = StreamSpec(
+            rate_bps=2.0 * network.capacity_bps, packet_size=packet_size, n_packets=2
+        )
+        holder: dict = {}
+        sim.schedule_at(clock, lambda s=spec: holder.update(ev=channel.send_stream(s)))
+        sim.run(until=clock)
+        measurement = sim.run_until(holder["ev"])
+        if measurement.n_received == 2:
+            rates.append(measurement.dispersion_rate_bps())
+        clock = max(sim.now, clock) + spacing
+    if not rates:
+        raise RuntimeError("no packet pair survived; cannot estimate capacity")
+    samples = np.array(rates)
+    counts, edges = np.histogram(samples, bins=n_bins)
+    mode_bin = int(np.argmax(counts))
+    estimate = float((edges[mode_bin] + edges[mode_bin + 1]) / 2.0)
+    return PacketPairResult(
+        capacity_estimate_bps=estimate,
+        pair_rates_bps=tuple(rates),
+        n_pairs=n_pairs,
+    )

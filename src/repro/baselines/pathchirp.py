@@ -1,0 +1,193 @@
+"""Extension: chirp-train avail-bw estimation (pathChirp-style).
+
+A follow-up to the paper's line of work (Ribeiro et al., PAM 2003):
+instead of pathload's constant-rate streams — each stream samples *one*
+rate — a **chirp** sends packets with exponentially *decreasing* gaps, so
+a single train sweeps a whole range of instantaneous rates.  The
+receiver locates the packet at which queueing delays start to build; the
+instantaneous rate at that excursion point estimates the avail-bw.
+
+Implemented here as an extension estimator because it answers the
+efficiency question the paper's Section IV raises (measurement latency of
+an iterative tool) from the other direction: one chirp costs a few
+hundred packets and no iteration, at the price of noisier estimates.
+``benchmarks/test_ext_pathchirp.py`` quantifies that latency/accuracy
+trade against pathload on the same paths.
+
+Algorithm (per chirp):
+
+1. send packets ``k = 0..K-1`` with gaps ``g_k = g0 * gamma^(-k)``
+   (``gamma > 1`` the spread factor), so the instantaneous rate
+   ``r_k = L8 / g_k`` grows exponentially from ``r_min`` toward ``r_max``;
+2. compute relative OWDs at the receiver and smooth them over a short
+   window;
+3. the *excursion point* is the first k after which the smoothed OWD
+   increases persistently to the end of the train; ``r_k`` there is the
+   per-chirp estimate (``r_max`` if no such point: the chirp never
+   saturated the path);
+4. aggregate per-chirp estimates over ``n_chirps`` by the median.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.probing import PacketRecord
+from ..netsim.engine import Simulator
+from ..netsim.packet import Packet, PacketKind
+from ..netsim.path import PathNetwork
+
+__all__ = ["ChirpResult", "chirp_estimate_from_owds", "run_pathchirp"]
+
+
+@dataclass(frozen=True)
+class ChirpResult:
+    """Outcome of a pathChirp-style measurement."""
+
+    avail_bw_estimate_bps: float
+    chirp_estimates_bps: tuple[float, ...]
+    n_chirps: int
+    packets_per_chirp: int
+    #: total probe bytes sent (the overhead side of the trade-off)
+    bytes_sent: int
+    #: total measurement duration in (simulated) seconds
+    duration: float
+
+
+def chirp_rates(
+    rate_min_bps: float, rate_max_bps: float, n_packets: int
+) -> np.ndarray:
+    """Instantaneous rates of a chirp sweeping ``[rate_min, rate_max]``."""
+    if not 0 < rate_min_bps < rate_max_bps:
+        raise ValueError("need 0 < rate_min < rate_max")
+    if n_packets < 8:
+        raise ValueError(f"a chirp needs >= 8 packets, got {n_packets}")
+    return np.geomspace(rate_min_bps, rate_max_bps, n_packets - 1)
+
+
+def chirp_estimate_from_owds(
+    owds: np.ndarray,
+    rates: np.ndarray,
+    smooth: int = 3,
+    tail_fraction: float = 0.8,
+) -> float:
+    """Locate the excursion point of one chirp.
+
+    ``owds[k]`` is the relative OWD of packet ``k`` (length ``len(rates)+1``);
+    ``rates[k]`` the instantaneous rate of the gap preceding packet ``k+1``.
+    Returns the instantaneous rate at the start of the final persistent OWD
+    rise, or ``rates[-1]`` when the chirp never saturates.
+
+    A rise at index k is "persistent" when at least ``tail_fraction`` of
+    the smoothed OWD differences from k to the end are non-negative —
+    short bumps from cross-traffic bursts are skipped, matching
+    pathChirp's excursion filtering.
+    """
+    owds = np.asarray(owds, dtype=np.float64)
+    if len(owds) != len(rates) + 1:
+        raise ValueError("need one OWD per packet: len(owds) == len(rates)+1")
+    if smooth > 1:
+        kernel = np.ones(smooth) / smooth
+        owds = np.convolve(owds, kernel, mode="valid")
+    diffs = np.diff(owds)
+    if len(diffs) == 0:
+        return float(rates[-1])
+    rising = diffs > 0
+    # walk from the end: find the longest suffix that is mostly rising
+    best_start = None
+    for start in range(len(rising)):
+        tail = rising[start:]
+        if tail.mean() >= tail_fraction and tail.sum() >= 3:
+            best_start = start
+            break
+    if best_start is None:
+        return float(rates[-1])
+    index = min(best_start, len(rates) - 1)
+    return float(rates[index])
+
+
+def run_pathchirp(
+    sim: Simulator,
+    network: PathNetwork,
+    n_chirps: int = 8,
+    n_packets: int = 120,
+    packet_size: int = 1000,
+    rate_min_bps: Optional[float] = None,
+    rate_max_bps: Optional[float] = None,
+    spacing: float = 0.3,
+    start: float = 0.0,
+) -> ChirpResult:
+    """Measure avail-bw with exponential chirps over the simulator.
+
+    The sweep defaults to ``[2 %, 120 %]`` of the path capacity, so the
+    chirp always crosses the avail-bw of a loaded path.
+    """
+    if n_chirps < 1:
+        raise ValueError(f"need at least one chirp, got {n_chirps}")
+    cap = network.capacity_bps
+    rate_min = rate_min_bps if rate_min_bps is not None else 0.02 * cap
+    rate_max = rate_max_bps if rate_max_bps is not None else 1.2 * cap
+    rates = chirp_rates(rate_min, rate_max, n_packets)
+    bits = packet_size * 8.0
+    gaps = bits / rates  # gap before packet k+1
+
+    estimates: list[float] = []
+    bytes_sent = 0
+    t_begin = None
+    clock = start
+    for chirp_index in range(n_chirps):
+        records: list[PacketRecord] = []
+        done = sim.event()
+
+        def on_arrival(pkt: Packet, records=records, done=done, n=n_packets):
+            records.append(
+                PacketRecord(
+                    seq=pkt.seq,
+                    sender_stamp=pkt.sender_stamp,
+                    recv_stamp=sim.now,
+                )
+            )
+            if pkt.seq == n - 1:
+                done.trigger_if_pending(None)
+
+        send_times = clock + np.concatenate(([0.0], np.cumsum(gaps)))
+        for seq in range(n_packets):
+            t_send = float(send_times[seq])
+
+            def send(seq=seq, t_send=t_send, on_arrival=on_arrival):
+                pkt = Packet(
+                    packet_size,
+                    flow_id=f"chirp-{chirp_index}",
+                    seq=seq,
+                    kind=PacketKind.PROBE,
+                    created_at=sim.now,
+                    sender_stamp=sim.now,
+                )
+                network.send_forward(pkt, on_arrival)
+
+            sim.schedule_at(t_send, send)
+        bytes_sent += n_packets * packet_size
+        deadline = float(send_times[-1]) + 2.0 * network.min_rtt(packet_size) + 0.1
+        sim.schedule_at(deadline, done.trigger_if_pending, None)
+        sim.run(until=clock)
+        sim.run_until(done)
+        if t_begin is None:
+            t_begin = clock
+        if len(records) == n_packets:  # lossless chirp only
+            records.sort(key=lambda r: r.seq)
+            owds = np.array([r.recv_stamp - r.sender_stamp for r in records])
+            estimates.append(chirp_estimate_from_owds(owds, rates))
+        clock = max(sim.now, clock) + spacing
+    if not estimates:
+        raise RuntimeError("every chirp lost packets; cannot estimate")
+    return ChirpResult(
+        avail_bw_estimate_bps=float(np.median(estimates)),
+        chirp_estimates_bps=tuple(estimates),
+        n_chirps=n_chirps,
+        packets_per_chirp=n_packets,
+        bytes_sent=bytes_sent,
+        duration=sim.now - (t_begin if t_begin is not None else start),
+    )

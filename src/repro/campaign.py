@@ -1,0 +1,138 @@
+"""Measurement campaigns: repeated pathload runs over one live network.
+
+The single-shot helpers in :mod:`repro.runner` build a fresh simulation
+per measurement — right for controlled accuracy studies, wrong for the
+operational question the paper's Section VI asks: *how does the avail-bw
+of one path evolve, and does pathload track it?*  A
+:class:`MeasurementCampaign` answers that: it keeps one simulation alive,
+runs pathload on a schedule (back-to-back or with gaps), and collects the
+resulting avail-bw **time series** alongside the ground-truth monitor
+series for the same period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .core.config import PathloadConfig
+from .core.pathload import PathloadController, PathloadReport
+from .netsim.engine import Simulator
+from .netsim.monitor import LinkMonitor
+from .netsim.link import Link
+from .netsim.path import PathNetwork
+from .transport.probe import ProbeChannel, drive_controller
+
+__all__ = ["CampaignSample", "CampaignResult", "MeasurementCampaign"]
+
+
+@dataclass(frozen=True)
+class CampaignSample:
+    """One scheduled measurement in the campaign's time series."""
+
+    t_start: float
+    t_end: float
+    report: PathloadReport
+
+    @property
+    def mid_bps(self) -> float:
+        """Center of this measurement's range."""
+        return self.report.mid_bps
+
+
+@dataclass
+class CampaignResult:
+    """The campaign's output: measurement and monitor time series."""
+
+    samples: list[CampaignSample] = field(default_factory=list)
+    monitor_series: list[tuple[float, float]] = field(default_factory=list)
+
+    def measured_series(self) -> list[tuple[float, float, float]]:
+        """(time, low, high) per measurement, time = measurement midpoint."""
+        return [
+            ((s.t_start + s.t_end) / 2.0, s.report.low_bps, s.report.high_bps)
+            for s in self.samples
+        ]
+
+    def coverage_fraction(self, slack_bps: float = 0.0) -> float:
+        """Fraction of measurements whose range (± ``slack_bps``) covers
+        the monitor's avail-bw for the overlapping window."""
+        if not self.samples or not self.monitor_series:
+            raise ValueError("campaign has no samples or no monitor data")
+        hits = 0
+        for sample in self.samples:
+            mid_time = (sample.t_start + sample.t_end) / 2.0
+            truth = min(
+                self.monitor_series,
+                key=lambda pair: abs(pair[0] - mid_time),
+            )[1]
+            if (
+                sample.report.low_bps - slack_bps
+                <= truth
+                <= sample.report.high_bps + slack_bps
+            ):
+                hits += 1
+        return hits / len(self.samples)
+
+
+class MeasurementCampaign:
+    """Run pathload repeatedly over a live network and track the truth.
+
+    Parameters
+    ----------
+    monitor_link:
+        The link whose utilization defines the ground-truth series
+        (normally the tight link).
+    gap:
+        Idle time between consecutive measurements; 0 = back-to-back
+        (Fig. 10's cadence), larger values reduce the probe's footprint on
+        the monitor readings.
+    monitor_window:
+        Averaging window of the ground-truth series.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: PathNetwork,
+        monitor_link: Link,
+        config: Optional[PathloadConfig] = None,
+        gap: float = 0.0,
+        monitor_window: float = 10.0,
+        start: float = 2.0,
+    ):
+        if gap < 0:
+            raise ValueError(f"gap must be >= 0, got {gap}")
+        self.sim = sim
+        self.network = network
+        self.config = config if config is not None else PathloadConfig(idle_factor=1.0)
+        self.gap = float(gap)
+        self.start = float(start)
+        self.channel = ProbeChannel(sim, network)
+        self.monitor = LinkMonitor(sim, monitor_link, window=monitor_window, start=start)
+
+    def run(self, n_measurements: int, time_limit: float = 3600.0) -> CampaignResult:
+        """Execute ``n_measurements`` back-to-back (plus ``gap``) runs."""
+        if n_measurements < 1:
+            raise ValueError(f"need at least one measurement, got {n_measurements}")
+        result = CampaignResult()
+        self.sim.run(until=self.start)
+        deadline = self.start + time_limit
+        for _i in range(n_measurements):
+            if self.sim.now >= deadline:
+                break
+            t0 = self.sim.now
+            controller = PathloadController(
+                self.config, rtt=self.network.min_rtt()
+            )
+            process = drive_controller(self.sim, controller, self.channel)
+            report = self.sim.run_until(process.done_event, limit=deadline + 600.0)
+            result.samples.append(
+                CampaignSample(t_start=t0, t_end=self.sim.now, report=report)
+            )
+            if self.gap > 0:
+                self.sim.run(until=self.sim.now + self.gap)
+        # let the monitor finish its current window for full coverage
+        self.sim.run(until=self.sim.now + self.monitor.window + 1e-6)
+        result.monitor_series = self.monitor.avail_bw_series()
+        return result

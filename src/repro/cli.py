@@ -1,0 +1,151 @@
+"""Command-line interface.
+
+Two subcommands:
+
+``repro-pathload measure``
+    Run one pathload measurement over a synthetic path (capacity,
+    utilization, hops are flags) and print the report — the simulated
+    equivalent of running the original tool against a host pair.
+
+``repro-pathload figure <id>``
+    Regenerate one of the paper's figures (``fig05``, ``fig11``,
+    ``fig15-16``, ...; see ``--list``) and print its series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-pathload",
+        description=(
+            "Reproduction of Jain & Dovrolis (SIGCOMM 2002): SLoPS/pathload "
+            "available-bandwidth measurement over a built-in network simulator."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    measure = sub.add_parser(
+        "measure", help="measure avail-bw on a synthetic path"
+    )
+    measure.add_argument(
+        "--capacity-mbps", type=float, default=10.0, help="tight link capacity"
+    )
+    measure.add_argument(
+        "--utilization", type=float, default=0.6, help="tight link utilization [0,1)"
+    )
+    measure.add_argument(
+        "--hops", type=int, default=1, help="path length (1 = single hop)"
+    )
+    measure.add_argument("--seed", type=int, default=1, help="RNG seed")
+    measure.add_argument(
+        "--traffic",
+        choices=("pareto", "poisson", "cbr"),
+        default="pareto",
+        help="cross-traffic model",
+    )
+    measure.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write the full report (fleets, verdicts) as JSON",
+    )
+    measure.add_argument(
+        "--paper-idle",
+        action="store_true",
+        help=(
+            "use the tool's full interstream idle (9 stream durations, the "
+            "non-intrusiveness setting) instead of the faster 1x idle"
+        ),
+    )
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument(
+        "id", nargs="?", help="figure id (e.g. fig05), or 'all' for every figure"
+    )
+    figure.add_argument(
+        "--list", action="store_true", help="list available figure ids"
+    )
+    return parser
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    from .core.config import PathloadConfig
+    from .netsim.topologies import Fig4Config
+    from .runner import measure_avail_bw_sim, measure_fig4_path
+
+    capacity = args.capacity_mbps * 1e6
+    truth = capacity * (1 - args.utilization)
+    config = PathloadConfig(idle_factor=9.0 if args.paper_idle else 1.0)
+    if args.hops <= 1:
+        report = measure_avail_bw_sim(
+            capacity_bps=capacity,
+            utilization=args.utilization,
+            seed=args.seed,
+            traffic_model=args.traffic,
+            config=config,
+        )
+    else:
+        cfg = Fig4Config(
+            hops=args.hops,
+            tight_capacity_bps=capacity,
+            tight_utilization=args.utilization,
+            traffic_model=args.traffic,
+        )
+        report, _setup = measure_fig4_path(cfg, seed=args.seed, config=config)
+    print(
+        f"avail-bw range: [{report.low_bps / 1e6:.2f}, "
+        f"{report.high_bps / 1e6:.2f}] Mb/s (true average {truth / 1e6:.2f})"
+    )
+    print(
+        f"termination={report.termination} fleets={len(report.fleets)} "
+        f"streams={report.n_streams_sent} latency={report.duration:.1f}s"
+    )
+    if args.output:
+        from .core.report_io import dump_report
+
+        dump_report(report, args.output)
+        print(f"report written to {args.output}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from .experiments import REGISTRY
+
+    if args.list or not args.id:
+        for key in REGISTRY:
+            print(key)
+        return 0
+    if args.id == "all":
+        for key, run_fn in REGISTRY.items():
+            print(f"--- running {key} ---")
+            run_fn().print_table()
+        return 0
+    run_fn = REGISTRY.get(args.id)
+    if run_fn is None:
+        print(f"unknown figure {args.id!r}; available: {', '.join(REGISTRY)}",
+              file=sys.stderr)
+        return 2
+    run_fn().print_table()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "measure":
+        return _cmd_measure(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    parser.print_help()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

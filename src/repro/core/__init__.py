@@ -1,0 +1,69 @@
+"""SLoPS / pathload: the paper's primary contribution.
+
+* :mod:`~repro.core.probing` — periodic stream specs, measurements, and the
+  sans-IO action protocol.
+* :mod:`~repro.core.trend` — PCT/PDT increasing-trend statistics on group
+  medians.
+* :mod:`~repro.core.fleet` — fleet classification with the grey region.
+* :mod:`~repro.core.rate_adjust` — grey-region-aware binary search.
+* :mod:`~repro.core.pathload` — the full measurement controller.
+* :mod:`~repro.core.fluid` — the analytic fluid model of the Appendix.
+"""
+
+from .config import PAPER_EXPERIMENT_CONFIG, PathloadConfig
+from .fleet import FleetOutcome, FleetRecord, classify_fleet, classify_stream
+from .fluid import FluidLink, FluidPath, run_controller_fluid
+from .pathload import PathloadController, PathloadReport, Termination
+from .probing import (
+    Idle,
+    PacketRecord,
+    SendStream,
+    StreamMeasurement,
+    StreamSpec,
+    stream_spec_for_rate,
+)
+from .rate_adjust import AdjusterState, RateAdjuster
+from .report_io import dump_report, load_report, report_from_dict, report_to_dict
+from .trend import (
+    StreamClassification,
+    StreamType,
+    classify_owds,
+    classify_owds_two_sided,
+    median_groups,
+    pct_metric,
+    pdt_metric,
+)
+
+__all__ = [
+    "AdjusterState",
+    "FleetOutcome",
+    "FleetRecord",
+    "FluidLink",
+    "FluidPath",
+    "Idle",
+    "PAPER_EXPERIMENT_CONFIG",
+    "PacketRecord",
+    "PathloadConfig",
+    "PathloadController",
+    "PathloadReport",
+    "RateAdjuster",
+    "SendStream",
+    "StreamClassification",
+    "StreamMeasurement",
+    "StreamSpec",
+    "StreamType",
+    "Termination",
+    "classify_fleet",
+    "classify_owds",
+    "classify_owds_two_sided",
+    "classify_stream",
+    "dump_report",
+    "load_report",
+    "median_groups",
+    "pct_metric",
+    "pdt_metric",
+    "report_from_dict",
+    "report_to_dict",
+    "run_controller_fluid",
+    "stream_spec_for_rate",
+]

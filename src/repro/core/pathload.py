@@ -1,0 +1,256 @@
+"""The pathload controller: SLoPS as an executable, transport-agnostic
+state machine.
+
+:class:`PathloadController.run` is a generator implementing the complete
+measurement algorithm of Section IV:
+
+1. **Initialization** — probe once at a high rate and use the stream's
+   dispersion rate (the ADR) as the first fleet rate; the search's upper
+   bound starts at the tool's maximum measurable rate.
+2. **Fleets** — send ``N`` streams at the current rate, classifying each
+   via PCT/PDT on group medians; an idle interval ``max(RTT, 9V)`` follows
+   every stream so the tool's average rate stays below 10 % of the probe
+   rate.
+3. **Verdict + rate adjustment** — grey-region-aware binary search
+   (:class:`~repro.core.rate_adjust.RateAdjuster`).
+4. **Termination** — resolution ω reached, grey-region resolution χ
+   reached, the path looks saturated (rate floor hit), or the fleet budget
+   is exhausted.
+
+The generator yields :class:`~repro.core.probing.SendStream` and
+:class:`~repro.core.probing.Idle` actions and receives
+:class:`~repro.core.probing.StreamMeasurement` objects, so the identical
+logic runs over the discrete-event simulator, a synthetic test harness, or
+(in principle) real sockets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional, Union
+
+from .config import PathloadConfig
+from .fleet import FleetOutcome, FleetRecord, classify_fleet, classify_stream
+from .probing import Idle, SendStream, StreamMeasurement, stream_spec_for_rate
+from .rate_adjust import RateAdjuster
+
+__all__ = ["PathloadController", "PathloadReport", "Termination"]
+
+
+class Termination:
+    """Why a pathload run ended (plain-string constants)."""
+
+    RESOLUTION = "resolution"  # R_max - R_min <= omega, no grey region
+    GREY_RESOLUTION = "grey-resolution"  # both gaps around the grey region <= chi
+    SATURATED = "saturated"  # rate floor hit; path has ~no avail-bw
+    MAX_RATE = "max-rate-reached"  # avail-bw exceeds the highest probeable rate
+    MAX_FLEETS = "max-fleets"  # safety cap reached before convergence
+
+
+@dataclass
+class PathloadReport:
+    """Final output of one pathload run.
+
+    The headline result is the range ``[low_bps, high_bps]`` in which the
+    avail-bw varied during the measurement, at the averaging timescale set
+    by the stream duration.
+    """
+
+    low_bps: float
+    high_bps: float
+    grey_low_bps: Optional[float]
+    grey_high_bps: Optional[float]
+    termination: str
+    fleets: list[FleetRecord] = field(default_factory=list)
+    n_streams_sent: int = 0
+    t_start: float = 0.0
+    t_end: float = 0.0
+
+    @property
+    def mid_bps(self) -> float:
+        """Center of the reported range."""
+        return (self.low_bps + self.high_bps) / 2.0
+
+    @property
+    def width_bps(self) -> float:
+        """Width of the reported range."""
+        return self.high_bps - self.low_bps
+
+    @property
+    def relative_variation(self) -> float:
+        """The paper's variability metric ρ (Eq. 12): range width over its
+        center."""
+        if self.mid_bps == 0:
+            return 0.0
+        return self.width_bps / self.mid_bps
+
+    @property
+    def duration(self) -> float:
+        """Wall (simulated) time the measurement took."""
+        return self.t_end - self.t_start
+
+    def contains(self, value_bps: float) -> bool:
+        """True when ``value_bps`` lies inside the reported range."""
+        return self.low_bps <= value_bps <= self.high_bps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PathloadReport [{self.low_bps / 1e6:.2f}, {self.high_bps / 1e6:.2f}] "
+            f"Mb/s, {len(self.fleets)} fleets, {self.termination}>"
+        )
+
+
+Action = Union[SendStream, Idle]
+
+
+class PathloadController:
+    """Sans-IO pathload measurement logic.
+
+    Parameters
+    ----------
+    config:
+        Tool parameters (defaults = the released tool's).
+    rtt:
+        The path round-trip time, used to size idle intervals.  A real
+        deployment measures it during connection setup; simulation drivers
+        pass the known value.
+    """
+
+    def __init__(self, config: Optional[PathloadConfig] = None, rtt: float = 0.1):
+        if rtt <= 0:
+            raise ValueError(f"rtt must be positive, got {rtt}")
+        self.config = config if config is not None else PathloadConfig()
+        self.rtt = float(rtt)
+
+    # ------------------------------------------------------------------
+    # Stream/fleet helpers
+    # ------------------------------------------------------------------
+    def _spec_for(self, rate_bps: float) -> "SendStream":
+        cfg = self.config
+        return SendStream(
+            stream_spec_for_rate(
+                rate_bps,
+                n_packets=cfg.n_packets,
+                min_period=cfg.min_period,
+                min_packet_size=cfg.min_packet_size,
+                mtu=cfg.mtu,
+            )
+        )
+
+    def _idle_after_stream(self, stream_duration: float) -> Idle:
+        """Interstream idle: ``max(RTT, idle_factor * V)`` (Section IV)."""
+        return Idle(max(self.rtt, self.config.idle_factor * stream_duration))
+
+    def _run_fleet(
+        self, rate_bps: float
+    ) -> Generator[Action, StreamMeasurement, FleetRecord]:
+        """Send one fleet and classify it.  (Sub-generator of :meth:`run`.)"""
+        cfg = self.config
+        record = FleetRecord(rate_bps=rate_bps, outcome=FleetOutcome.GREY)
+        lossy = 0
+        for index in range(cfg.n_streams):
+            action = self._spec_for(rate_bps)
+            measurement = yield action
+            if index == 0:
+                record.t_start = measurement.t_start
+            record.t_end = measurement.t_end
+            record.measurements.append(measurement)
+            record.classifications.append(classify_stream(measurement, cfg))
+            if measurement.loss_rate > cfg.moderate_loss:
+                lossy += 1
+                if lossy > cfg.max_lossy_streams:
+                    # Abort early: no point finishing a fleet the path
+                    # cannot carry (paper: fleet aborted, rate decreased).
+                    record.outcome = FleetOutcome.ABORTED_LOSS
+                    return record
+            yield self._idle_after_stream(action.spec.duration)
+        record.outcome = classify_fleet(
+            record.classifications, record.measurements, cfg
+        )
+        return record
+
+    # ------------------------------------------------------------------
+    # Main algorithm
+    # ------------------------------------------------------------------
+    def run(self) -> Generator[Action, StreamMeasurement, PathloadReport]:
+        """The full measurement: yields actions, returns the report."""
+        cfg = self.config
+        fleets: list[FleetRecord] = []
+        streams_sent = 0
+        t_start: Optional[float] = None
+        t_end = 0.0
+
+        # --- initialization: dispersion-based first rate ---------------
+        if cfg.initial_rate_bps is not None:
+            first_rate = cfg.initial_rate_bps
+        else:
+            probe = self._spec_for(0.75 * cfg.max_rate_bps)
+            measurement = yield probe
+            streams_sent += 1
+            t_start = measurement.t_start
+            t_end = measurement.t_end
+            if measurement.n_received >= 2:
+                first_rate = measurement.dispersion_rate_bps()
+            else:
+                first_rate = cfg.max_rate_bps / 2.0
+            yield self._idle_after_stream(probe.spec.duration)
+
+        adjuster = RateAdjuster(
+            rmax_bps=cfg.max_rate_bps,
+            omega_bps=cfg.resolution_bps,
+            chi_bps=cfg.grey_resolution_bps,
+        )
+        rate = min(max(first_rate, cfg.min_rate_bps), 0.95 * cfg.max_rate_bps)
+        termination = Termination.MAX_FLEETS
+
+        for _fleet_index in range(cfg.max_fleets):
+            if adjuster.converged():
+                termination = (
+                    Termination.GREY_RESOLUTION
+                    if adjuster.gmin is not None
+                    else Termination.RESOLUTION
+                )
+                break
+            if adjuster.rmax <= cfg.min_rate_bps:
+                termination = Termination.SATURATED
+                break
+            if adjuster.rmin >= 0.95 * cfg.max_rate_bps:
+                # Everything the tool can generate is below the avail-bw:
+                # the path is faster than the maximum probing rate
+                # (MTU-sized packets at the minimum period, Section IV).
+                termination = Termination.MAX_RATE
+                break
+            record = yield from self._run_fleet(rate)
+            fleets.append(record)
+            streams_sent += len(record.measurements)
+            if t_start is None:
+                t_start = record.t_start
+            t_end = record.t_end
+            adjuster.record(rate, record.outcome)
+            rate = min(
+                max(adjuster.next_rate(), cfg.min_rate_bps), 0.95 * cfg.max_rate_bps
+            )
+        else:
+            # Fleet budget exhausted; the last fleet may still have achieved
+            # convergence, so classify the termination accordingly.
+            if adjuster.converged():
+                termination = (
+                    Termination.GREY_RESOLUTION
+                    if adjuster.gmin is not None
+                    else Termination.RESOLUTION
+                )
+            else:
+                termination = Termination.MAX_FLEETS
+
+        low, high = adjuster.report_range()
+        return PathloadReport(
+            low_bps=low,
+            high_bps=high,
+            grey_low_bps=adjuster.gmin,
+            grey_high_bps=adjuster.gmax,
+            termination=termination,
+            fleets=fleets,
+            n_streams_sent=streams_sent,
+            t_start=t_start if t_start is not None else 0.0,
+            t_end=t_end,
+        )

@@ -1,0 +1,187 @@
+"""Probing primitives shared by the SLoPS core and the transports.
+
+The SLoPS/pathload logic in :mod:`repro.core` is **sans-IO**: it never
+touches sockets or the simulator.  It is written as a generator that yields
+*actions* — :class:`SendStream` ("transmit this periodic stream and give me
+the measurement") and :class:`Idle` ("wait this long") — and receives
+:class:`StreamMeasurement` objects back.  A driver (simulation-backed in
+:mod:`repro.transport.probe`, synthetic in the tests) executes the actions.
+
+This mirrors the real tool's architecture: pathload's estimation logic is
+independent of how the UDP stream is produced; only the timestamps matter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "StreamSpec",
+    "PacketRecord",
+    "StreamMeasurement",
+    "SendStream",
+    "Idle",
+    "stream_spec_for_rate",
+]
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """A periodic probing stream: ``n_packets`` packets of ``packet_size``
+    bytes sent every ``period`` seconds (rate = size*8/period)."""
+
+    rate_bps: float
+    packet_size: int
+    n_packets: int
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ValueError(f"stream rate must be positive, got {self.rate_bps}")
+        if self.packet_size <= 0:
+            raise ValueError(f"packet size must be positive, got {self.packet_size}")
+        if self.n_packets < 2:
+            raise ValueError(f"a stream needs >= 2 packets, got {self.n_packets}")
+
+    @property
+    def period(self) -> float:
+        """Inter-packet send spacing ``T = L*8 / R`` in seconds."""
+        return self.packet_size * 8.0 / self.rate_bps
+
+    @property
+    def duration(self) -> float:
+        """Stream duration ``V = (K-1) * T`` (first to last transmission)."""
+        return (self.n_packets - 1) * self.period
+
+
+def stream_spec_for_rate(
+    rate_bps: float,
+    n_packets: int = 100,
+    min_period: float = 100e-6,
+    min_packet_size: int = 200,
+    mtu: int = 1500,
+) -> StreamSpec:
+    """Choose packet size and period for a target rate (paper Section IV).
+
+    The packet interspacing is normally the minimum period the hosts can
+    achieve (``min_period``), giving ``L = R * T / 8``.  ``L`` is then
+    clamped to ``[min_packet_size, mtu]``:
+
+    * ``L < min_packet_size`` (low rates) ⇒ use ``L = min_packet_size`` and
+      stretch the period, to keep layer-2 header effects negligible;
+    * ``L > mtu`` (high rates) ⇒ use ``L = mtu`` and shrink the period; the
+      maximum measurable rate is therefore ``mtu * 8 / min_period``.
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps}")
+    if rate_bps > mtu * 8.0 / min_period:
+        raise ValueError(
+            f"rate {rate_bps:.0f} b/s exceeds the maximum measurable rate "
+            f"{mtu * 8.0 / min_period:.0f} b/s (mtu={mtu}, min_period={min_period})"
+        )
+    size = rate_bps * min_period / 8.0
+    # Round up so the implied period L*8/R never dips below min_period.
+    size = int(min(max(math.ceil(size), min_packet_size), mtu))
+    return StreamSpec(rate_bps=rate_bps, packet_size=size, n_packets=n_packets)
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """Receiver-side record of one probe packet.
+
+    ``sender_stamp`` and ``recv_stamp`` are *host clock* readings; their
+    difference is the relative OWD (true OWD plus an unknown constant clock
+    offset, which cancels in all SLoPS statistics).
+    """
+
+    seq: int
+    sender_stamp: float
+    recv_stamp: float
+
+    @property
+    def relative_owd(self) -> float:
+        """Relative one-way delay (true OWD + constant clock offset)."""
+        return self.recv_stamp - self.sender_stamp
+
+
+@dataclass
+class StreamMeasurement:
+    """Everything the receiver learned from one periodic stream."""
+
+    spec: StreamSpec
+    records: list[PacketRecord]
+    n_sent: int
+    #: true send time of the first packet (driver bookkeeping; experiments
+    #: use it to align measurements with monitor windows)
+    t_start: float = 0.0
+    #: true completion time at the sender (when the result came back)
+    t_end: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.records = sorted(self.records, key=lambda r: r.seq)
+
+    @property
+    def n_received(self) -> int:
+        """Packets that made it to the receiver."""
+        return len(self.records)
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of stream packets lost in the path."""
+        if self.n_sent == 0:
+            return 0.0
+        return 1.0 - self.n_received / self.n_sent
+
+    def relative_owds(self) -> np.ndarray:
+        """Relative OWDs of received packets, in sequence order."""
+        return np.array([r.relative_owd for r in self.records], dtype=np.float64)
+
+    def arrival_times(self) -> np.ndarray:
+        """Receiver clock stamps, in sequence order."""
+        return np.array([r.recv_stamp for r in self.records], dtype=np.float64)
+
+    def sender_gaps(self) -> np.ndarray:
+        """Actual sender interspacing, from consecutive received packets.
+
+        The real receiver computes this from sender timestamps to detect
+        context switches and other send-rate deviations; gaps spanning a
+        lost packet are normalized by the sequence distance.
+        """
+        if len(self.records) < 2:
+            return np.empty(0, dtype=np.float64)
+        stamps = np.array([r.sender_stamp for r in self.records])
+        seqs = np.array([r.seq for r in self.records], dtype=np.float64)
+        return np.diff(stamps) / np.diff(seqs)
+
+    def dispersion_rate_bps(self) -> float:
+        """Receiver-side rate of the stream (packet-train dispersion).
+
+        ``(n-1) * L * 8 / (t_last - t_first)`` over received packets — the
+        quantity cprobe-style tools average (the ADR, Section II).
+        """
+        if len(self.records) < 2:
+            raise ValueError("need at least two received packets for dispersion")
+        span = self.records[-1].recv_stamp - self.records[0].recv_stamp
+        if span <= 0:
+            raise ValueError("non-positive arrival span; cannot compute dispersion")
+        return (len(self.records) - 1) * self.spec.packet_size * 8.0 / span
+
+
+@dataclass(frozen=True)
+class SendStream:
+    """Controller action: transmit ``spec`` and return its measurement."""
+
+    spec: StreamSpec
+
+
+@dataclass(frozen=True)
+class Idle:
+    """Controller action: stay silent for ``duration`` seconds."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"idle duration must be >= 0, got {self.duration}")

@@ -1,0 +1,183 @@
+"""Grey-region-aware binary search over probing rates (paper Section IV).
+
+The basic iteration is Eq. (7): keep lower/upper avail-bw bounds
+``R_min``/``R_max`` and probe halfway between them.  Pathload extends this
+with **grey-region bounds** ``G_min``/``G_max``: when a fleet's verdict is
+grey (the avail-bw varied above and below the fleet rate), the probed rate
+is absorbed into the grey interval instead of moving the outer bounds, and
+subsequent probes bisect the *unresolved gaps* ``(G_max, R_max)`` and
+``(R_min, G_min)``.
+
+Termination (paper Section IV): either
+
+* no grey region was found and ``R_max - R_min <= omega`` (the user's
+  avail-bw resolution), or
+* both unresolved gaps are small: ``R_max - G_max <= chi`` and
+  ``G_min - R_min <= chi`` (the grey-region resolution).
+
+The reported range is ``[R_min, R_max]``, which per the paper is either at
+most ``omega`` wide or overestimates the grey region's width by at most
+``2 * chi``.
+
+Note on probe ordering: the paper alternates sides based on which bound the
+last grey fleet updated; this implementation always bisects the *wider*
+unresolved gap.  Both orderings visit the same gaps and terminate under the
+same condition; bisecting the wider gap first is deterministic and
+minimizes worst-case fleet count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .fleet import FleetOutcome
+
+__all__ = ["RateAdjuster", "AdjusterState"]
+
+
+@dataclass(frozen=True)
+class AdjusterState:
+    """Snapshot of the search bounds after a fleet."""
+
+    rmin_bps: float
+    rmax_bps: float
+    gmin_bps: Optional[float]
+    gmax_bps: Optional[float]
+
+
+class RateAdjuster:
+    """The iterative rate-selection state machine.
+
+    Parameters
+    ----------
+    rmax_bps:
+        Initial upper bound — "a sufficiently high value", typically the
+        tool's maximum measurable rate or a dispersion-based estimate.
+    omega_bps / chi_bps:
+        Avail-bw resolution ω and grey-region resolution χ.
+    """
+
+    def __init__(
+        self,
+        rmax_bps: float,
+        omega_bps: float,
+        chi_bps: float,
+        rmin_bps: float = 0.0,
+    ):
+        if rmax_bps <= rmin_bps:
+            raise ValueError(
+                f"need rmax > rmin, got rmax={rmax_bps}, rmin={rmin_bps}"
+            )
+        if omega_bps <= 0 or chi_bps <= 0:
+            raise ValueError("resolutions must be positive")
+        self.rmin = float(rmin_bps)
+        self.rmax = float(rmax_bps)
+        self.gmin: Optional[float] = None
+        self.gmax: Optional[float] = None
+        self.omega = float(omega_bps)
+        self.chi = float(chi_bps)
+        self.history: list[tuple[float, FleetOutcome]] = []
+        self._initial_rmax = float(rmax_bps)
+        self._initial_rmin = float(rmin_bps)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def record(self, rate_bps: float, outcome: FleetOutcome) -> None:
+        """Fold one fleet verdict into the bounds.
+
+        ``ABORTED_LOSS`` is treated like ``ABOVE``: the path could not even
+        carry the fleet without losses, so the next fleet must probe lower
+        (paper: "the entire fleet is aborted and the rate of the next fleet
+        is decreased").
+        """
+        self.history.append((rate_bps, outcome))
+        if outcome in (FleetOutcome.ABOVE, FleetOutcome.ABORTED_LOSS):
+            self.rmax = min(self.rmax, rate_bps)
+            if self.rmin > self.rmax:
+                # Contradiction: a rate we once saw below the avail-bw is now
+                # above it — the avail-bw dropped.  Trust the newest verdict
+                # and forget the stale lower bound.
+                self.rmin = self._initial_rmin
+        elif outcome is FleetOutcome.BELOW:
+            self.rmin = max(self.rmin, rate_bps)
+            if self.rmin > self.rmax:
+                # The avail-bw rose past the stale upper bound; reopen it.
+                self.rmax = self._initial_rmax
+        elif outcome is FleetOutcome.GREY:
+            if self.gmin is None:
+                self.gmin = self.gmax = rate_bps
+            elif rate_bps > self.gmax:  # type: ignore[operator]
+                self.gmax = rate_bps
+            elif rate_bps < self.gmin:
+                self.gmin = rate_bps
+        else:  # pragma: no cover - exhaustive enum guard
+            raise ValueError(f"unknown fleet outcome {outcome!r}")
+        self._restore_invariants()
+
+    def _restore_invariants(self) -> None:
+        """Keep ``rmin <= gmin <= gmax <= rmax`` after any update.
+
+        A grey verdict at a rate outside the current outer bounds (possible
+        when the avail-bw drifts between fleets) clamps the grey interval
+        rather than widening the outer bounds.
+        """
+        if self.gmin is None:
+            return
+        self.gmin = max(self.gmin, self.rmin)
+        self.gmax = min(self.gmax, self.rmax)  # type: ignore[arg-type]
+        if self.gmin > self.gmax:  # grey interval contradicted; drop it
+            self.gmin = self.gmax = None
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def converged(self) -> bool:
+        """True when the termination condition of Section IV holds."""
+        if self.gmin is None:
+            return self.rmax - self.rmin <= self.omega
+        return (
+            self.rmax - self.gmax <= self.chi  # type: ignore[operator]
+            and self.gmin - self.rmin <= self.chi
+        )
+
+    def next_rate(self) -> float:
+        """The rate the next fleet should probe.
+
+        Without a grey region: bisect ``[rmin, rmax]`` (Eq. 7).  With one:
+        bisect the wider of the two unresolved gaps around it.
+        """
+        if self.gmin is None:
+            return (self.rmin + self.rmax) / 2.0
+        upper_gap = self.rmax - self.gmax  # type: ignore[operator]
+        lower_gap = self.gmin - self.rmin
+        if upper_gap <= self.chi and lower_gap <= self.chi:
+            # converged; callers should have checked, but return something sane
+            return (self.rmin + self.rmax) / 2.0
+        if upper_gap >= lower_gap and upper_gap > self.chi:
+            return (self.gmax + self.rmax) / 2.0  # type: ignore[operator]
+        return (self.gmin + self.rmin) / 2.0
+
+    def state(self) -> AdjusterState:
+        """Immutable snapshot of the current bounds."""
+        return AdjusterState(
+            rmin_bps=self.rmin,
+            rmax_bps=self.rmax,
+            gmin_bps=self.gmin,
+            gmax_bps=self.gmax,
+        )
+
+    def report_range(self) -> tuple[float, float]:
+        """The final avail-bw range ``[R_min, R_max]``."""
+        return (self.rmin, self.rmax)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        grey = (
+            f" grey=[{self.gmin / 1e6:.2f},{self.gmax / 1e6:.2f}]"
+            if self.gmin is not None
+            else ""
+        )
+        return (
+            f"<RateAdjuster [{self.rmin / 1e6:.2f},{self.rmax / 1e6:.2f}] Mb/s{grey}>"
+        )

@@ -1,0 +1,113 @@
+"""Serialization of pathload reports.
+
+A measurement tool's output outlives the process that produced it: the
+paper's own Fig. 10/11-14 analyses post-process hundreds of stored runs.
+These helpers round-trip a :class:`~repro.core.pathload.PathloadReport`
+through plain JSON-compatible dicts — fleet verdicts and per-stream
+statistics included, raw packet records omitted (they are bulky and
+re-derivable only from a live run).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .fleet import FleetOutcome, FleetRecord
+from .pathload import PathloadReport
+from .trend import StreamClassification, StreamType
+
+__all__ = ["report_to_dict", "report_from_dict", "dump_report", "load_report"]
+
+_SCHEMA_VERSION = 1
+
+
+def report_to_dict(report: PathloadReport) -> dict:
+    """A JSON-compatible representation of a report."""
+    return {
+        "schema_version": _SCHEMA_VERSION,
+        "low_bps": report.low_bps,
+        "high_bps": report.high_bps,
+        "grey_low_bps": report.grey_low_bps,
+        "grey_high_bps": report.grey_high_bps,
+        "termination": report.termination,
+        "n_streams_sent": report.n_streams_sent,
+        "t_start": report.t_start,
+        "t_end": report.t_end,
+        "fleets": [
+            {
+                "rate_bps": fleet.rate_bps,
+                "outcome": fleet.outcome.value,
+                "t_start": fleet.t_start,
+                "t_end": fleet.t_end,
+                "streams": [
+                    {
+                        "type": c.stream_type.value,
+                        "pct": _nan_to_none(c.pct),
+                        "pdt": _nan_to_none(c.pdt),
+                        "n_groups": c.n_groups,
+                    }
+                    for c in fleet.classifications
+                ],
+            }
+            for fleet in report.fleets
+        ],
+    }
+
+
+def _nan_to_none(value: float) -> Any:
+    return None if value != value else value  # NaN-safe for JSON
+
+
+def _none_to_nan(value: Any) -> float:
+    return float("nan") if value is None else float(value)
+
+
+def report_from_dict(data: dict) -> PathloadReport:
+    """Rebuild a report (without raw measurements) from its dict form."""
+    version = data.get("schema_version")
+    if version != _SCHEMA_VERSION:
+        raise ValueError(f"unsupported report schema version: {version!r}")
+    fleets = []
+    for fd in data["fleets"]:
+        fleets.append(
+            FleetRecord(
+                rate_bps=fd["rate_bps"],
+                outcome=FleetOutcome(fd["outcome"]),
+                classifications=[
+                    StreamClassification(
+                        stream_type=StreamType(sd["type"]),
+                        pct=_none_to_nan(sd["pct"]),
+                        pdt=_none_to_nan(sd["pdt"]),
+                        n_groups=sd["n_groups"],
+                    )
+                    for sd in fd["streams"]
+                ],
+                measurements=[],
+                t_start=fd["t_start"],
+                t_end=fd["t_end"],
+            )
+        )
+    return PathloadReport(
+        low_bps=data["low_bps"],
+        high_bps=data["high_bps"],
+        grey_low_bps=data["grey_low_bps"],
+        grey_high_bps=data["grey_high_bps"],
+        termination=data["termination"],
+        fleets=fleets,
+        n_streams_sent=data["n_streams_sent"],
+        t_start=data["t_start"],
+        t_end=data["t_end"],
+    )
+
+
+def dump_report(report: PathloadReport, path: str) -> None:
+    """Write a report to a JSON file."""
+    with open(path, "w") as fh:
+        json.dump(report_to_dict(report), fh, indent=2)
+
+
+def load_report(path: str) -> PathloadReport:
+    """Read a report previously written by :func:`dump_report`."""
+    with open(path) as fh:
+        return report_from_dict(json.load(fh))

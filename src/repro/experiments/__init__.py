@@ -1,0 +1,41 @@
+"""One module per figure of the paper's evaluation.
+
+Each module exposes ``run(scale=None, seed=...) -> FigureResult`` and a
+``main()`` that prints the regenerated series.  ``REGISTRY`` maps figure
+ids to run functions for the CLI and the benchmark harness.
+"""
+
+from . import (
+    fig01_03_owd,
+    fig05_load,
+    fig06_nontight,
+    fig07_tightness,
+    fig08_fraction,
+    fig09_pdt_threshold,
+    fig10_mrtg,
+    fig11_load_variability,
+    fig12_multiplexing,
+    fig13_stream_length,
+    fig14_fleet_length,
+    fig15_16_btc,
+    fig17_18_intrusiveness,
+)
+from .base import FigureResult, Scale, default_scale
+
+REGISTRY = {
+    "fig01-03": fig01_03_owd.run,
+    "fig05": fig05_load.run,
+    "fig06": fig06_nontight.run,
+    "fig07": fig07_tightness.run,
+    "fig08": fig08_fraction.run,
+    "fig09": fig09_pdt_threshold.run,
+    "fig10": fig10_mrtg.run,
+    "fig11": fig11_load_variability.run,
+    "fig12": fig12_multiplexing.run,
+    "fig13": fig13_stream_length.run,
+    "fig14": fig14_fleet_length.run,
+    "fig15-16": fig15_16_btc.run,
+    "fig17-18": fig17_18_intrusiveness.run,
+}
+
+__all__ = ["FigureResult", "REGISTRY", "Scale", "default_scale"]

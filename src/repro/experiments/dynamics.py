@@ -1,0 +1,76 @@
+"""Shared harness for the avail-bw dynamics experiments (Figs. 11-14).
+
+Section VI measures *variability*: each pathload run reports a range
+``[R_lo, R_hi]``; its relative variation is ``rho = (R_hi - R_lo) /
+((R_hi + R_lo)/2)`` (Eq. 12); the figures plot the {5,...,95} percentiles
+of rho over ~110 runs per operating condition.
+
+The Section VI tool settings are used throughout: omega = 1 Mb/s and
+chi = 1.5 Mb/s, so the reported range is either at most omega wide (no
+grey region) or tracks the grey region's width to within 2*chi.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..analysis.stats import percentile_grid, relative_variation
+from ..core.config import PathloadConfig
+from ..netsim.engine import Simulator
+from ..netsim.topologies import build_single_hop_path
+from ..transport.probe import run_pathload
+from .base import fast_pathload_config, spawn_seeds
+
+__all__ = ["rho_samples", "rho_percentiles"]
+
+
+def rho_samples(
+    runs: int,
+    master_seed: int,
+    capacity_bps: float,
+    utilization: Callable[[np.random.Generator], float] | float,
+    config: Optional[PathloadConfig] = None,
+    n_sources: int = 10,
+    warmup: float = 2.0,
+    prop_delay: float = 0.01,
+    modulation: tuple[float, float] | None = (2.0, 0.25),
+) -> list[float]:
+    """Relative-variation samples over ``runs`` independent pathload runs.
+
+    ``utilization`` is either a constant or a callable drawing the
+    utilization per run (the paper's load *ranges*, e.g. 75-85 %).
+
+    ``modulation`` defaults to a slow (2-second timescale) mean-reverting
+    load walk: the real paths of Section VI have non-stationary load on
+    timescales of seconds to minutes, and the stream/fleet-length effects
+    of Figs. 13-14 are precisely about averaging over such variation.  A
+    purely stationary workload would understate them.
+    """
+    if config is None:
+        config = fast_pathload_config()
+    samples: list[float] = []
+    for rng in spawn_seeds(master_seed, runs):
+        u = utilization(rng) if callable(utilization) else float(utilization)
+        sim = Simulator()
+        setup = build_single_hop_path(
+            sim,
+            capacity_bps,
+            u,
+            rng,
+            prop_delay=prop_delay,
+            traffic_model="pareto",
+            n_sources=n_sources,
+            modulation=modulation,
+        )
+        report = run_pathload(
+            sim, setup.network, config=config, start=warmup, time_limit=1200.0
+        )
+        samples.append(relative_variation(report.low_bps, report.high_bps))
+    return samples
+
+
+def rho_percentiles(samples: list[float]) -> list[tuple[int, float]]:
+    """The paper's {5,...,95} percentile readout of rho."""
+    return percentile_grid(samples)

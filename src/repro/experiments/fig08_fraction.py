@@ -1,0 +1,85 @@
+"""Figure 8: effect of the fleet fraction ``f`` on the reported range.
+
+``f`` is the fraction of a fleet's streams that must agree before the
+fleet is called increasing or non-increasing; anything less is grey.
+
+Expected shape (paper): as ``f`` grows, a larger fraction of streams must
+agree, so more fleets land in the grey region and the reported avail-bw
+range **widens** (the paper plots single runs per ``f`` at
+Ct = 10 Mb/s, ut = 60 %, A = 4 Mb/s).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..netsim.engine import Simulator
+from ..netsim.topologies import Fig4Config, build_fig4_path
+from ..transport.probe import run_pathload
+from .base import FigureResult, Scale, default_scale, fast_pathload_config, spawn_seeds
+
+__all__ = ["run", "FRACTIONS"]
+
+FRACTIONS: tuple[float, ...] = (0.55, 0.7, 0.8, 0.9)
+
+
+def run(scale: Optional[Scale] = None, seed: int = 80) -> FigureResult:
+    """Reproduce Fig. 8: reported range vs fleet fraction f."""
+    scale = scale if scale is not None else default_scale(runs=3, full_runs=10)
+    result = FigureResult(
+        figure_id="fig08",
+        title="Pathload range vs fleet fraction f",
+        columns=[
+            "fraction",
+            "true_avail_mbps",
+            "avg_low_mbps",
+            "avg_high_mbps",
+            "avg_width_mbps",
+            "grey_fraction_of_fleets",
+            "runs",
+        ],
+        notes=(
+            "Fig. 4 topology, ut=60% (A=4 Mb/s), Pareto traffic.  Expected: "
+            "range width grows with f (more fleets fall in the grey region)."
+        ),
+    )
+    cfg_path = Fig4Config(tight_utilization=0.6, traffic_model="pareto")
+    for fraction in FRACTIONS:
+        widths, lows, highs, grey_counts, fleet_counts = [], [], [], 0, 0
+        for rng in spawn_seeds(seed + int(fraction * 100), scale.runs):
+            sim = Simulator()
+            setup = build_fig4_path(sim, cfg_path, rng)
+            report = run_pathload(
+                sim,
+                setup.network,
+                config=fast_pathload_config(fleet_fraction=fraction),
+                start=2.0,
+                time_limit=600.0,
+            )
+            lows.append(report.low_bps)
+            highs.append(report.high_bps)
+            widths.append(report.width_bps)
+            grey_counts += sum(
+                1 for f in report.fleets if f.outcome.value == "grey"
+            )
+            fleet_counts += len(report.fleets)
+        result.add_row(
+            fraction=fraction,
+            true_avail_mbps=cfg_path.avail_bw_bps / 1e6,
+            avg_low_mbps=float(np.mean(lows)) / 1e6,
+            avg_high_mbps=float(np.mean(highs)) / 1e6,
+            avg_width_mbps=float(np.mean(widths)) / 1e6,
+            grey_fraction_of_fleets=grey_counts / fleet_counts if fleet_counts else 0.0,
+            runs=scale.runs,
+        )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    run().print_table()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,71 @@
+"""Figure 14: effect of the fleet length N on measured variability.
+
+A fleet of N streams samples the relation between its rate and the
+avail-bw N times; the fleet duration sets the *measurement period*.
+Longer fleets widen the window in which the avail-bw can wander across
+the fleet rate, making a grey verdict — and hence a wider final range —
+more likely.  At the same time, a longer measurement period makes the
+observed min/max bounds of the avail-bw process concentrate around their
+expectations, so the run-to-run variation shrinks.
+
+Expected shape (paper): as N grows, rho increases *and* the CDF of rho
+becomes steeper (less spread across runs).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import FigureResult, Scale, default_scale, fast_pathload_config
+from .dynamics import rho_percentiles, rho_samples
+
+__all__ = ["run", "FLEET_LENGTHS"]
+
+FLEET_LENGTHS: tuple[int, ...] = (6, 12, 24)
+
+CAPACITY = 12.4e6
+UTILIZATION = 0.64
+
+
+def run(scale: Optional[Scale] = None, seed: int = 140) -> FigureResult:
+    """Reproduce Fig. 14: CDF of rho for three fleet lengths."""
+    scale = scale if scale is not None else default_scale(runs=10, full_runs=110)
+    result = FigureResult(
+        figure_id="fig14",
+        title="Relative variation of avail-bw vs fleet length N",
+        columns=["fleet_length", "percentile", "rho", "iqr_rho", "runs"],
+        notes=(
+            f"C={CAPACITY / 1e6:.1f} Mb/s at {int(UTILIZATION * 100)}%.  "
+            "Expected: median rho grows with N while the spread across runs "
+            "(IQR) shrinks (steeper CDF)."
+        ),
+    )
+    for n in FLEET_LENGTHS:
+        config = fast_pathload_config(n_streams=n)
+        samples = rho_samples(
+            runs=scale.runs,
+            master_seed=seed + n,
+            capacity_bps=CAPACITY,
+            utilization=UTILIZATION,
+            config=config,
+        )
+        iqr = float(np.percentile(samples, 75) - np.percentile(samples, 25))
+        for percentile, rho in rho_percentiles(samples):
+            result.add_row(
+                fleet_length=n,
+                percentile=percentile,
+                rho=rho,
+                iqr_rho=iqr,
+                runs=scale.runs,
+            )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    run().print_table()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,258 @@
+"""Cross-traffic generation.
+
+Section V of the paper generates cross traffic at each hop from **ten random
+sources** whose interarrivals are either exponential (Poisson traffic) or
+Pareto with ``alpha = 1.9`` (infinite variance, heavy-tailed), and whose
+packet sizes follow the classic Internet mix:
+
+    40% 40-byte packets, 50% 550-byte, 10% 1500-byte  (mean 441 B).
+
+This module reproduces that workload:
+
+* :class:`PacketMix` — the size distribution;
+* :class:`CrossTrafficSource` — one renewal-process source feeding one link;
+* :func:`attach_cross_traffic` — the paper's "ten sources per link" helper.
+
+For performance, each source draws interarrivals and sizes in vectorized
+numpy batches and walks through them with an index, so steady-state cost is
+one heap event plus O(1) Python work per packet.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .engine import Simulator
+from .link import Link
+from .packet import Packet, PacketKind
+from .path import PathNetwork
+
+__all__ = [
+    "PAPER_PACKET_MIX",
+    "PacketMix",
+    "CrossTrafficSource",
+    "attach_cross_traffic",
+]
+
+#: The paper's cross-traffic packet-size distribution (Section V-A).
+PAPER_PACKET_MIX: tuple[tuple[int, float], ...] = (
+    (40, 0.40),
+    (550, 0.50),
+    (1500, 0.10),
+)
+
+_BATCH = 512  # samples drawn per vectorized RNG call
+
+
+class PacketMix:
+    """A discrete packet-size distribution.
+
+    Parameters
+    ----------
+    sizes_probs:
+        Sequence of ``(size_bytes, probability)`` pairs.  Probabilities must
+        sum to 1 (within float tolerance).
+    """
+
+    def __init__(self, sizes_probs: Sequence[tuple[int, float]] = PAPER_PACKET_MIX):
+        sizes_probs = tuple(sizes_probs)
+        if not sizes_probs:
+            raise ValueError("packet mix must contain at least one size")
+        total = sum(p for _s, p in sizes_probs)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"packet mix probabilities sum to {total}, expected 1")
+        if any(s <= 0 for s, _p in sizes_probs):
+            raise ValueError("packet sizes must be positive")
+        self.sizes = np.array([s for s, _p in sizes_probs], dtype=np.int64)
+        self.probs = np.array([p for _s, p in sizes_probs], dtype=np.float64)
+
+    @property
+    def mean_size(self) -> float:
+        """Mean packet size in bytes."""
+        return float(np.dot(self.sizes, self.probs))
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` packet sizes."""
+        return rng.choice(self.sizes, size=n, p=self.probs)
+
+    @classmethod
+    def constant(cls, size: int) -> "PacketMix":
+        """A degenerate mix of a single packet size."""
+        return cls(((size, 1.0),))
+
+
+class CrossTrafficSource:
+    """A single renewal-process traffic source feeding one link.
+
+    Parameters
+    ----------
+    rate_bps:
+        Long-run average offered load in bits per second.
+    model:
+        Interarrival model: ``"poisson"`` (exponential), ``"pareto"``
+        (heavy-tailed with shape ``alpha``), or ``"cbr"`` (constant spacing,
+        a fluid-like deterministic source).
+    alpha:
+        Pareto shape; the paper uses 1.9 (finite mean, infinite variance).
+    start / stop:
+        Activity window in simulated seconds (``stop=None`` ⇒ forever).
+    modulation:
+        Optional ``(interval, sigma)`` slow-timescale load modulation: every
+        ``interval`` seconds the source's instantaneous rate is multiplied
+        by a mean-reverting lognormal factor (clamped to [0.25, 2.5]).
+        This models the minutes-scale *non-stationarity* of real Internet
+        load on top of the packet-scale burstiness — without it, the
+        avail-bw process is stationary at every timescale, which real paths
+        (Section VI) are not.  The long-run average rate stays ``rate_bps``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: PathNetwork,
+        link: Link,
+        rate_bps: float,
+        rng: np.random.Generator,
+        model: str = "pareto",
+        alpha: float = 1.9,
+        mix: Optional[PacketMix] = None,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+        name: str = "cross",
+        modulation: Optional[tuple[float, float]] = None,
+    ):
+        if rate_bps < 0:
+            raise ValueError(f"rate must be >= 0, got {rate_bps}")
+        if model not in ("poisson", "pareto", "cbr"):
+            raise ValueError(f"unknown interarrival model {model!r}")
+        if model == "pareto" and alpha <= 1.0:
+            raise ValueError(f"Pareto alpha must exceed 1 for a finite mean, got {alpha}")
+        self.sim = sim
+        self.network = network
+        self.link = link
+        self.rate_bps = float(rate_bps)
+        self.rng = rng
+        self.model = model
+        self.alpha = float(alpha)
+        self.mix = mix if mix is not None else PacketMix()
+        self.stop = stop
+        self.name = name
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self._sizes: np.ndarray = np.empty(0, dtype=np.int64)
+        self._gaps: np.ndarray = np.empty(0, dtype=np.float64)
+        self._idx = 0
+        #: mean interarrival implied by the rate and mean packet size
+        self.mean_gap = (
+            float("inf")
+            if rate_bps == 0
+            else self.mix.mean_size * 8.0 / self.rate_bps
+        )
+        self._mod_factor = 1.0
+        self.modulation = modulation
+        if modulation is not None:
+            interval, sigma = modulation
+            if interval <= 0 or sigma < 0:
+                raise ValueError(
+                    f"modulation needs interval > 0 and sigma >= 0, got {modulation}"
+                )
+            sim.schedule_at(start, self._modulate)
+        if rate_bps > 0:
+            first_gap = self._warmup_offset()
+            sim.schedule_at(start + first_gap, self._arrival)
+
+    def _warmup_offset(self) -> float:
+        """Randomize the first arrival so sources are not phase-aligned."""
+        if self.model == "cbr":
+            return float(self.rng.uniform(0.0, self.mean_gap))
+        return float(self._next_gap())
+
+    def _refill(self) -> None:
+        mean = self.mean_gap
+        if self.model == "poisson":
+            self._gaps = self.rng.exponential(mean, size=_BATCH)
+        elif self.model == "pareto":
+            # numpy's Generator.pareto draws Lomax samples (x_m = 1 shifted
+            # to zero); interarrival = x_m * (1 + lomax) has mean
+            # x_m * alpha / (alpha - 1).
+            xm = mean * (self.alpha - 1.0) / self.alpha
+            self._gaps = xm * (1.0 + self.rng.pareto(self.alpha, size=_BATCH))
+        else:  # cbr
+            self._gaps = np.full(_BATCH, mean)
+        self._sizes = self.mix.sample(self.rng, _BATCH)
+        self._idx = 0
+
+    def _next_gap(self) -> float:
+        if self._idx >= len(self._gaps):
+            self._refill()
+        gap = self._gaps[self._idx]
+        return float(gap)
+
+    def _arrival(self) -> None:
+        now = self.sim.now
+        if self.stop is not None and now >= self.stop:
+            return
+        if self._idx >= len(self._sizes):
+            self._refill()
+        size = int(self._sizes[self._idx])
+        pkt = Packet(size, flow_id=self.name, kind=PacketKind.CROSS)
+        self.network.inject_at(self.link, pkt)
+        self.packets_sent += 1
+        self.bytes_sent += size
+        self._idx += 1
+        self.sim.schedule(self._next_gap() / self._mod_factor, self._arrival)
+
+    def _modulate(self) -> None:
+        """Mean-reverting lognormal random walk of the instantaneous rate."""
+        if self.stop is not None and self.sim.now >= self.stop:
+            return
+        interval, sigma = self.modulation  # type: ignore[misc]
+        # pull the log-factor halfway back to 0, then perturb
+        log_factor = 0.5 * float(np.log(self._mod_factor))
+        log_factor += float(self.rng.normal(0.0, sigma))
+        self._mod_factor = float(np.clip(np.exp(log_factor), 0.25, 2.5))
+        self.sim.schedule(interval, self._modulate)
+
+
+def attach_cross_traffic(
+    sim: Simulator,
+    network: PathNetwork,
+    link: Link,
+    rate_bps: float,
+    rng: np.random.Generator,
+    n_sources: int = 10,
+    model: str = "pareto",
+    alpha: float = 1.9,
+    mix: Optional[PacketMix] = None,
+    start: float = 0.0,
+    stop: Optional[float] = None,
+    modulation: Optional[tuple[float, float]] = None,
+) -> list[CrossTrafficSource]:
+    """Attach the paper's per-link workload: ``n_sources`` independent sources.
+
+    The aggregate offered load is ``rate_bps``, split evenly; each source
+    gets an independent RNG stream spawned from ``rng`` so that changing one
+    source's draws cannot perturb another's.
+    """
+    if n_sources <= 0:
+        raise ValueError(f"n_sources must be positive, got {n_sources}")
+    children = rng.spawn(n_sources)
+    return [
+        CrossTrafficSource(
+            sim,
+            network,
+            link,
+            rate_bps / n_sources,
+            child,
+            model=model,
+            alpha=alpha,
+            mix=mix,
+            start=start,
+            stop=stop,
+            name=f"cross-{link.name}-{i}",
+            modulation=modulation,
+        )
+        for i, child in enumerate(children)
+    ]

@@ -1,0 +1,378 @@
+"""Discrete-event simulation engine.
+
+This module is the foundation of the :mod:`repro.netsim` substrate.  It
+provides a minimal but complete discrete-event kernel in the style of NS or
+SimPy:
+
+* :class:`Simulator` — a monotonic virtual clock and a priority queue of
+  scheduled callbacks.
+* :class:`Event` — a one-shot synchronization primitive that processes can
+  wait on and that any code can trigger.
+* :class:`Process` — a generator-based coroutine.  A process function
+  ``yield``-s either a number (sleep for that many simulated seconds) or an
+  :class:`Event` (resume when it triggers, receiving the event's value).
+
+Design notes
+------------
+The *hot path* of the network simulator (per-packet link events) uses plain
+scheduled callbacks (:meth:`Simulator.schedule`), which cost one heap
+operation each.  The generator-based process model is reserved for control
+logic — the pathload state machine, TCP connection management, experiment
+schedules — where clarity matters more than per-event cost.
+
+All timing in the simulator is *virtual*: the engine never consults the wall
+clock.  This is the key substitution that makes a pure-Python reproduction of
+a delay-trend-sensitive tool like pathload viable (see DESIGN.md): one-way
+delay differences of tens of microseconds are exact numbers here, not
+measurements subject to interpreter jitter.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Process",
+    "ScheduledCall",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation kernel.
+
+    Examples include scheduling an event in the past, triggering an event
+    twice, or running a simulator whose clock was corrupted by a callback.
+    """
+
+
+class ScheduledCall:
+    """Handle for a scheduled callback, allowing cancellation.
+
+    Instances are returned by :meth:`Simulator.schedule` and
+    :meth:`Simulator.schedule_at`.  Cancellation is *lazy*: the heap entry
+    stays in the queue and is discarded when popped.
+    """
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledCall t={self.time:.6f} {self.fn!r} ({state})>"
+
+
+class Event:
+    """One-shot event that :class:`Process` objects can wait on.
+
+    An event starts *pending*.  Calling :meth:`trigger` makes it *triggered*,
+    records a value, and resumes every waiting process (and fires every
+    registered callback) in registration order.  Triggering twice raises
+    :class:`SimulationError`; use :meth:`trigger_if_pending` when racing
+    multiple sources (e.g., a completion vs. a timeout).
+    """
+
+    __slots__ = ("sim", "_callbacks", "triggered", "value")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._callbacks: list[Callable[[Any], None]] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def add_callback(self, fn: Callable[[Any], None]) -> None:
+        """Run ``fn(value)`` when the event triggers.
+
+        If the event has already triggered, ``fn`` is invoked immediately
+        (synchronously) with the recorded value.
+        """
+        if self.triggered:
+            fn(self.value)
+        else:
+            self._callbacks.append(fn)
+
+    def trigger(self, value: Any = None) -> None:
+        """Trigger the event, resuming all waiters with ``value``."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(value)
+
+    def trigger_if_pending(self, value: Any = None) -> bool:
+        """Trigger unless already triggered.  Returns True if it fired."""
+        if self.triggered:
+            return False
+        self.trigger(value)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"triggered value={self.value!r}" if self.triggered else "pending"
+        return f"<Event {state}>"
+
+
+class Process:
+    """A generator-based coroutine driven by the simulator.
+
+    The wrapped generator may yield:
+
+    * ``int`` or ``float`` — sleep for that many simulated seconds;
+    * :class:`Event` — suspend until the event triggers; the event's value
+      becomes the result of the ``yield`` expression;
+    * :class:`Process` — suspend until the other process finishes; its return
+      value becomes the result of the ``yield`` expression.
+
+    When the generator returns, the process's :attr:`done_event` triggers
+    with the return value, so processes compose: a parent can
+    ``result = yield child``.
+
+    An exception escaping the generator is re-raised out of
+    :meth:`Simulator.run` — simulation bugs fail loudly rather than being
+    swallowed (errors should never pass silently).
+    """
+
+    __slots__ = ("sim", "_gen", "done_event", "name", "_terminated")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        self.sim = sim
+        self._gen = gen
+        self.done_event = Event(sim)
+        self.name = name or getattr(gen, "__name__", "process")
+        self._terminated = False
+        # First step happens via the scheduler so that creating a process
+        # inside another process's step cannot reenter the generator stack.
+        sim.schedule(0.0, self._step, None)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._terminated
+
+    def interrupt(self, exc: Optional[BaseException] = None) -> None:
+        """Throw ``exc`` (default :class:`GeneratorExit`) into the process."""
+        if self._terminated:
+            return
+        self._terminated = True
+        self._gen.close() if exc is None else self._gen.throw(exc)
+
+    def add_callback(self, fn: Callable[[Any], None]) -> None:
+        """Alias so a Process can be waited on like an Event."""
+        self.done_event.add_callback(fn)
+
+    def _step(self, send_value: Any) -> None:
+        if self._terminated:
+            return
+        try:
+            target = self._gen.send(send_value)
+        except StopIteration as stop:
+            self._terminated = True
+            self.done_event.trigger(stop.value)
+            return
+        if isinstance(target, (int, float)):
+            self.sim.schedule(float(target), self._step, None)
+        elif isinstance(target, (Event, Process)):
+            target.add_callback(self._step)
+        else:
+            self._terminated = True
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported value {target!r}; "
+                "yield a delay (seconds), an Event, or a Process"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._terminated else "alive"
+        return f"<Process {self.name} ({state})>"
+
+
+class Simulator:
+    """The discrete-event kernel: virtual clock plus run loop.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.0, print, "one second in")
+
+        def controller():
+            yield 0.5
+            done = sim.event()
+            sim.schedule(2.0, done.trigger, "payload")
+            value = yield done
+            return value
+
+        proc = sim.process(controller())
+        sim.run()
+        assert proc.done_event.value == "payload"
+    """
+
+    __slots__ = ("_queue", "_seq", "_now", "_running")
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[float, int, ScheduledCall]] = []
+        self._seq = 0
+        self._now = 0.0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> ScheduledCall:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds.
+
+        ``delay`` must be non-negative.  Ties are broken FIFO (stable order).
+        Returns a :class:`ScheduledCall` handle that can be cancelled.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> ScheduledCall:
+        """Run ``fn(*args)`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} (now={self._now}): time is in the past"
+            )
+        call = ScheduledCall(time, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, (time, self._seq, call))
+        return call
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that triggers after ``delay`` seconds with ``value``."""
+        ev = Event(self)
+        self.schedule(delay, ev.trigger, value)
+        return ev
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Start a new :class:`Process` from generator ``gen``."""
+        return Process(self, gen, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        """An event that triggers when the *first* of ``events`` triggers.
+
+        The combined event's value is ``(index, value)`` of the first child
+        to fire.  Later triggers of the other children are ignored.
+        """
+        combined = Event(self)
+        for index, ev in enumerate(events):
+            ev.add_callback(
+                lambda value, index=index: combined.trigger_if_pending((index, value))
+            )
+        return combined
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """An event that triggers when *all* ``events`` have triggered.
+
+        The combined value is the list of child values, in input order.
+        """
+        events = list(events)
+        combined = Event(self)
+        if not events:
+            combined.trigger([])
+            return combined
+        remaining = [len(events)]
+        values: list[Any] = [None] * len(events)
+
+        def on_child(index: int, value: Any) -> None:
+            values[index] = value
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                combined.trigger(values)
+
+        for index, ev in enumerate(events):
+            ev.add_callback(lambda value, index=index: on_child(index, value))
+        return combined
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until the queue is empty or ``until`` is reached.
+
+        If ``until`` is given, the clock is advanced to exactly ``until``
+        when the run stops because of it (even if no event sits at that
+        time), matching NS semantics.  Returns the final clock value.
+        """
+        if self._running:
+            raise SimulationError("run() called reentrantly")
+        self._running = True
+        queue = self._queue
+        try:
+            while queue:
+                time, _seq, call = queue[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(queue)
+                if call.cancelled:
+                    continue
+                self._now = time
+                call.fn(*call.args)
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until(self, event: Event, limit: Optional[float] = None) -> Any:
+        """Run until ``event`` triggers; return its value.
+
+        Raises :class:`SimulationError` if the queue drains (or ``limit`` is
+        hit) before the event fires — a deadlock guard for tests.
+        """
+        if self._running:
+            raise SimulationError("run_until() called reentrantly")
+        self._running = True
+        queue = self._queue
+        try:
+            while not event.triggered:
+                if not queue:
+                    raise SimulationError(
+                        "event queue drained before awaited event triggered"
+                    )
+                time, _seq, call = heapq.heappop(queue)
+                if call.cancelled:
+                    continue
+                if limit is not None and time > limit:
+                    raise SimulationError(
+                        f"time limit {limit}s reached before awaited event triggered"
+                    )
+                self._now = time
+                call.fn(*call.args)
+        finally:
+            self._running = False
+        return event.value
+
+    def pending_count(self) -> int:
+        """Number of not-yet-cancelled entries in the event queue."""
+        return sum(1 for _t, _s, call in self._queue if not call.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now:.6f} queued={len(self._queue)}>"

@@ -1,0 +1,143 @@
+"""Closed-loop background traffic: short TCP flows ("mice").
+
+The open-loop sources in :mod:`~repro.netsim.crosstraffic` offer a fixed
+load regardless of congestion — the right model for the paper's controlled
+accuracy experiments, where the avail-bw must be a configured constant.
+Real Internet load, however, is mostly **closed-loop**: swarms of short
+TCP transfers (the "mice" of Section II) that back off under loss and
+whose arrival is well modeled as Poisson with heavy-tailed sizes (the
+classic web-workload findings behind self-similar traffic).
+
+:class:`ShortFlowGenerator` provides that workload: flows arrive as a
+Poisson process, each transfers a Pareto-distributed number of bytes over
+its own TCP connection, and completed connections are torn down.  Because
+the load responds to congestion there is no configured "true avail-bw" —
+experiments against this workload validate pathload against the MRTG
+monitor instead (`tests/test_flowgen.py`), which is exactly how the paper
+verified on real paths.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .engine import Simulator
+from .path import PathNetwork
+from ..transport.tcp import TCPConfig, TCPReceiver, TCPSender
+
+__all__ = ["ShortFlowGenerator"]
+
+
+class ShortFlowGenerator:
+    """Poisson arrivals of short TCP transfers over a path.
+
+    Parameters
+    ----------
+    target_load_bps:
+        Long-run average *offered* load: the flow arrival rate is
+        ``target_load_bps / (8 * mean_flow_bytes)``.  The achieved
+        throughput can be lower under congestion — that is the point of a
+        closed-loop model.
+    mean_flow_bytes:
+        Mean transfer size; sizes are Pareto with shape ``size_alpha``
+        (heavy-tailed: mostly mice, occasional elephants).
+    size_alpha:
+        Pareto shape for flow sizes (1.2 is the classic web-size tail).
+    max_concurrent:
+        Cap on simultaneously active flows (models a connection limit and
+        bounds simulator memory under overload).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: PathNetwork,
+        target_load_bps: float,
+        rng: np.random.Generator,
+        mean_flow_bytes: float = 60_000,
+        size_alpha: float = 1.2,
+        min_flow_bytes: int = 2_000,
+        tcp_config: Optional[TCPConfig] = None,
+        max_concurrent: int = 64,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+    ):
+        if target_load_bps <= 0:
+            raise ValueError(f"target load must be positive, got {target_load_bps}")
+        if size_alpha <= 1.0:
+            raise ValueError(f"size alpha must exceed 1, got {size_alpha}")
+        if mean_flow_bytes <= min_flow_bytes:
+            raise ValueError("mean flow size must exceed the minimum size")
+        if max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent}")
+        self.sim = sim
+        self.network = network
+        self.rng = rng
+        self.mean_flow_bytes = float(mean_flow_bytes)
+        self.size_alpha = float(size_alpha)
+        self.min_flow_bytes = int(min_flow_bytes)
+        self.tcp_config = tcp_config if tcp_config is not None else TCPConfig(min_rto=0.5)
+        self.max_concurrent = max_concurrent
+        self.stop = stop
+        #: mean inter-arrival time implied by the target load
+        self.mean_interarrival = 8.0 * mean_flow_bytes / target_load_bps
+        # statistics
+        self.flows_started = 0
+        self.flows_completed = 0
+        self.flows_rejected = 0  # dropped by the concurrency cap
+        self.bytes_completed = 0
+        self._active: set[TCPSender] = set()
+        sim.schedule_at(start + self._next_gap(), self._arrival)
+
+    # ------------------------------------------------------------------
+    def _next_gap(self) -> float:
+        return float(self.rng.exponential(self.mean_interarrival))
+
+    def _flow_size(self) -> int:
+        # Pareto with mean = xm * alpha/(alpha-1); xm from the target mean
+        xm = (self.mean_flow_bytes - self.min_flow_bytes) * (
+            self.size_alpha - 1.0
+        ) / self.size_alpha
+        size = self.min_flow_bytes + xm * (1.0 + self.rng.pareto(self.size_alpha))
+        return int(size)
+
+    def _arrival(self) -> None:
+        now = self.sim.now
+        if self.stop is not None and now >= self.stop:
+            return
+        self.sim.schedule(self._next_gap(), self._arrival)
+        if len(self._active) >= self.max_concurrent:
+            self.flows_rejected += 1
+            return
+        size = self._flow_size()
+        receiver = TCPReceiver(self.sim, self.network, flow_id="", config=self.tcp_config)
+        sender = TCPSender(
+            self.sim,
+            self.network,
+            receiver,
+            config=self.tcp_config,
+            total_bytes=size,
+            on_complete=self._flow_done,
+        )
+        self._active.add(sender)
+        self.flows_started += 1
+        sender.start()
+
+    def _flow_done(self, sender: TCPSender) -> None:
+        self._active.discard(sender)
+        self.flows_completed += 1
+        self.bytes_completed += sender.total_bytes or 0
+
+    # ------------------------------------------------------------------
+    @property
+    def active_flows(self) -> int:
+        """Currently running transfers."""
+        return len(self._active)
+
+    def achieved_load_bps(self, duration: float) -> float:
+        """Average completed-transfer goodput over ``duration`` seconds."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        return self.bytes_completed * 8.0 / duration

@@ -1,0 +1,209 @@
+"""Store-and-forward link model.
+
+Each :class:`Link` is a FIFO transmission queue with:
+
+* a fixed capacity ``C`` in bits per second,
+* a propagation delay,
+* an optional finite drop-tail buffer (in bytes).
+
+The paper's path model (Section III-A) is exactly this: a sequence of
+store-and-forward FIFO links, each with capacity ``C_i``, adequately buffered
+in the verification simulations, finitely buffered in the TCP experiments of
+Section VII.
+
+Implementation
+--------------
+A link costs **one scheduled event per packet**: the delivery callback at
+``transmission_complete + propagation_delay``.  Queueing is tracked
+analytically with a "transmitter free at" clock (``_free_at``) plus a lazy
+deque of in-flight transmissions used for byte-accurate backlog accounting
+(needed for drop-tail decisions and queue-size monitoring).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from .engine import Simulator
+from .packet import Packet
+
+__all__ = ["Link", "LinkStats"]
+
+
+class LinkStats:
+    """Cumulative per-link counters, read by monitors.
+
+    ``bytes_forwarded`` counts bytes *accepted for transmission* (the
+    quantity an SNMP interface counter — and therefore MRTG — reports).
+    """
+
+    __slots__ = ("bytes_forwarded", "packets_forwarded", "bytes_dropped", "packets_dropped")
+
+    def __init__(self) -> None:
+        self.bytes_forwarded = 0
+        self.packets_forwarded = 0
+        self.bytes_dropped = 0
+        self.packets_dropped = 0
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy of the counters."""
+        return {
+            "bytes_forwarded": self.bytes_forwarded,
+            "packets_forwarded": self.packets_forwarded,
+            "bytes_dropped": self.bytes_dropped,
+            "packets_dropped": self.packets_dropped,
+        }
+
+
+class Link:
+    """One store-and-forward hop.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel.
+    capacity_bps:
+        Transmission rate in bits per second (the paper's ``C_i``).
+    prop_delay:
+        Propagation delay in seconds appended after transmission completes.
+    buffer_bytes:
+        Drop-tail buffer size in bytes, or ``None`` for an infinite buffer
+        (the paper's "adequately buffered to avoid losses" setting).
+    name:
+        Human-readable label used in monitors and error messages.
+    deliver:
+        Callback invoked as ``deliver(packet)`` when a packet exits the link
+        (i.e., after transmission + propagation).  Wired by the owning
+        network; may also be set after construction.
+    qdisc:
+        Optional active queue management policy (e.g.
+        :class:`~repro.netsim.qdisc.REDQueue`) consulted *before* the
+        drop-tail check; any object with a
+        ``should_drop(backlog_bytes, pkt_size, now, capacity_bps)`` method.
+    """
+
+    __slots__ = (
+        "sim",
+        "capacity_bps",
+        "prop_delay",
+        "buffer_bytes",
+        "name",
+        "deliver",
+        "stats",
+        "drop_hook",
+        "qdisc",
+        "_free_at",
+        "_in_flight",
+        "_backlog_bytes",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity_bps: float,
+        prop_delay: float = 0.0,
+        buffer_bytes: Optional[int] = None,
+        name: str = "link",
+        deliver: Optional[Callable[[Packet], None]] = None,
+        qdisc=None,
+    ):
+        if capacity_bps <= 0:
+            raise ValueError(f"link capacity must be positive, got {capacity_bps}")
+        if prop_delay < 0:
+            raise ValueError(f"propagation delay must be >= 0, got {prop_delay}")
+        if buffer_bytes is not None and buffer_bytes <= 0:
+            raise ValueError(f"buffer size must be positive or None, got {buffer_bytes}")
+        self.sim = sim
+        self.capacity_bps = float(capacity_bps)
+        self.prop_delay = float(prop_delay)
+        self.buffer_bytes = buffer_bytes
+        self.name = name
+        self.deliver = deliver
+        self.stats = LinkStats()
+        #: optional hook called with each dropped packet (used by tests and
+        #: loss-sensitive experiments)
+        self.drop_hook: Optional[Callable[[Packet], None]] = None
+        self.qdisc = qdisc
+        self._free_at = 0.0  # when the transmitter becomes idle
+        self._in_flight: deque = deque()  # (tx_done_time, size_bytes)
+        self._backlog_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Queue accounting
+    # ------------------------------------------------------------------
+    def _purge(self, now: float) -> None:
+        """Drop bookkeeping entries whose transmission has completed."""
+        in_flight = self._in_flight
+        while in_flight and in_flight[0][0] <= now:
+            self._backlog_bytes -= in_flight.popleft()[1]
+
+    def backlog_bytes(self, now: Optional[float] = None) -> int:
+        """Bytes queued or in transmission at time ``now`` (default: current)."""
+        self._purge(self.sim.now if now is None else now)
+        return self._backlog_bytes
+
+    def queueing_delay(self, now: Optional[float] = None) -> float:
+        """Time a zero-size arrival at ``now`` would wait before service."""
+        t = self.sim.now if now is None else now
+        return max(0.0, self._free_at - t)
+
+    def transmission_time(self, size_bytes: int) -> float:
+        """Serialization delay of a packet of ``size_bytes`` on this link."""
+        return size_bytes * 8.0 / self.capacity_bps
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def send(self, pkt: Packet) -> bool:
+        """Accept ``pkt`` for transmission at the current simulated time.
+
+        Returns ``True`` if the packet was enqueued, ``False`` if it was
+        dropped by the drop-tail buffer.  On acceptance, the delivery
+        callback fires at ``max(now, transmitter_free) + tx_time +
+        prop_delay``.
+        """
+        now = self.sim.now
+        self._purge(now)
+        drop = (
+            self.buffer_bytes is not None
+            and self._backlog_bytes + pkt.size > self.buffer_bytes
+        )
+        if not drop and self.qdisc is not None:
+            drop = self.qdisc.should_drop(
+                self._backlog_bytes, pkt.size, now, self.capacity_bps
+            )
+        if drop:
+            self.stats.bytes_dropped += pkt.size
+            self.stats.packets_dropped += 1
+            if self.drop_hook is not None:
+                self.drop_hook(pkt)
+            return False
+
+        start = self._free_at if self._free_at > now else now
+        done = start + pkt.size * 8.0 / self.capacity_bps
+        self._free_at = done
+        self._in_flight.append((done, pkt.size))
+        self._backlog_bytes += pkt.size
+        self.stats.bytes_forwarded += pkt.size
+        self.stats.packets_forwarded += 1
+        self.sim.schedule_at(done + self.prop_delay, self._exit, pkt)
+        return True
+
+    def _exit(self, pkt: Packet) -> None:
+        if self.deliver is None:
+            raise RuntimeError(f"link {self.name!r} has no delivery callback wired")
+        self.deliver(pkt)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def utilization_of(self, bytes_forwarded: int, interval: float) -> float:
+        """Average utilization implied by ``bytes_forwarded`` over ``interval``."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        return (bytes_forwarded * 8.0 / interval) / self.capacity_bps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cap_mbps = self.capacity_bps / 1e6
+        return f"<Link {self.name} {cap_mbps:.2f}Mb/s prop={self.prop_delay * 1e3:.2f}ms>"

@@ -1,0 +1,120 @@
+"""Packet objects flowing through the simulated network.
+
+A :class:`Packet` is deliberately lightweight (``__slots__``-based) because
+the simulator creates one per cross-traffic arrival and per probe packet —
+hundreds of thousands per experiment.
+
+Timestamp fields
+----------------
+``created_at``
+    True simulated time at which the packet entered the network.
+``sender_stamp``
+    Timestamp written by the *sending host's clock* (which may have offset,
+    skew, or context-switch noise relative to true time).  This is what a
+    real pathload sender writes into the UDP payload, and what the receiver
+    uses to compute relative one-way delays.
+``delivered_at``
+    True simulated time of final delivery, filled in by the network.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+__all__ = ["Packet", "PacketKind"]
+
+_packet_ids = itertools.count()
+
+
+class PacketKind:
+    """Namespace of packet-kind constants (plain strings, cheap to compare)."""
+
+    PROBE = "probe"
+    CROSS = "cross"
+    DATA = "data"  # TCP data segment
+    ACK = "ack"  # TCP acknowledgment
+    PING = "ping"
+    PONG = "pong"
+    CONTROL = "control"  # pathload control-channel message
+
+
+class Packet:
+    """A single packet.
+
+    Parameters
+    ----------
+    size:
+        Wire size in bytes (includes headers; the simulator does not model
+        layer-2 framing separately — see the paper's ``L >= 200 B``
+        constraint, whose purpose is precisely to make header effects
+        negligible).
+    flow_id:
+        Opaque flow identifier; the network uses it only for per-flow
+        accounting, delivery is explicit per packet.
+    seq:
+        Sequence number within the flow (stream position for probes, byte
+        sequence for TCP).
+    kind:
+        One of :class:`PacketKind`.
+    payload:
+        Arbitrary protocol data (e.g., a TCP segment header object).
+    """
+
+    __slots__ = (
+        "pid",
+        "size",
+        "flow_id",
+        "seq",
+        "kind",
+        "payload",
+        "created_at",
+        "sender_stamp",
+        "delivered_at",
+        "hop",
+        "route",
+        "handler",
+    )
+
+    def __init__(
+        self,
+        size: int,
+        flow_id: str = "",
+        seq: int = 0,
+        kind: str = PacketKind.CROSS,
+        payload: Any = None,
+        created_at: float = 0.0,
+        sender_stamp: float = 0.0,
+    ):
+        if size <= 0:
+            raise ValueError(f"packet size must be positive, got {size}")
+        self.pid = next(_packet_ids)
+        self.size = size
+        self.flow_id = flow_id
+        self.seq = seq
+        self.kind = kind
+        self.payload = payload
+        self.created_at = created_at
+        self.sender_stamp = sender_stamp
+        self.delivered_at: Optional[float] = None
+        # Routing state, managed by the network:
+        self.hop = 0
+        self.route: tuple = ()
+        self.handler = None
+
+    @property
+    def bits(self) -> int:
+        """Wire size in bits."""
+        return self.size * 8
+
+    def one_way_delay(self) -> float:
+        """True one-way delay (requires the packet to have been delivered)."""
+        if self.delivered_at is None:
+            raise ValueError("packet has not been delivered")
+        return self.delivered_at - self.created_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Packet #{self.pid} {self.kind} flow={self.flow_id!r} "
+            f"seq={self.seq} {self.size}B>"
+        )

@@ -1,0 +1,112 @@
+"""Active queue management: RED, as an alternative to drop-tail.
+
+The paper assumes drop-tail queues ("the common practice today", Section
+VII footnote 6) — the queue fills completely before TCP sees a loss, which
+is what produces the large RTT inflation of Fig. 16.  Random Early
+Detection (Floyd & Jacobson 1993) drops probabilistically as the *average*
+queue grows, keeping queues shorter.  Implementing it lets the repo test
+two things the paper only implies:
+
+* SLoPS itself does not depend on drop-tail — the OWD trend comes from
+  queue *growth*, which RED preserves below its drop thresholds;
+* a BTC connection over RED inflates RTTs far less, weakening the paper's
+  Fig. 16 effect — the drop-tail assumption is load-bearing for that
+  figure, and `benchmarks/test_ablation_queue_discipline.py` quantifies it.
+
+The implementation follows the classic gentle-RED recipe: an EWMA of the
+queue size (with idle-time compensation), linear drop probability between
+``min_th`` and ``max_th``, count-based spreading of drops, and forced drops
+above ``max_th``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["REDQueue"]
+
+
+class REDQueue:
+    """RED drop policy, attachable to a :class:`~repro.netsim.link.Link`.
+
+    Parameters
+    ----------
+    min_th_bytes / max_th_bytes:
+        Average-queue thresholds: no early drops below ``min_th``, forced
+        drops above ``max_th``, probability rising linearly in between.
+    max_p:
+        Drop probability at ``max_th``.
+    weight:
+        EWMA weight for the average queue estimate (classic value 0.002).
+    rng:
+        Source of randomness for the probabilistic drops.
+    """
+
+    def __init__(
+        self,
+        min_th_bytes: int,
+        max_th_bytes: int,
+        rng: np.random.Generator,
+        max_p: float = 0.1,
+        weight: float = 0.002,
+    ):
+        if not 0 < min_th_bytes < max_th_bytes:
+            raise ValueError(
+                f"need 0 < min_th < max_th, got {min_th_bytes}/{max_th_bytes}"
+            )
+        if not 0 < max_p <= 1:
+            raise ValueError(f"max_p must be in (0,1], got {max_p}")
+        if not 0 < weight <= 1:
+            raise ValueError(f"weight must be in (0,1], got {weight}")
+        self.min_th = float(min_th_bytes)
+        self.max_th = float(max_th_bytes)
+        self.max_p = float(max_p)
+        self.weight = float(weight)
+        self.rng = rng
+        self.avg = 0.0
+        self._count = 0  # packets since last drop
+        self._idle_since: Optional[float] = None
+        self.early_drops = 0
+        self.forced_drops = 0
+
+    def should_drop(self, backlog_bytes: int, pkt_size: int, now: float,
+                    capacity_bps: float) -> bool:
+        """RED decision for a packet arriving to ``backlog_bytes`` of queue."""
+        # idle-time compensation: while the queue was empty, the average
+        # decays as if small packets had been dequeued the whole time
+        if backlog_bytes == 0:
+            if self._idle_since is None:
+                self._idle_since = now
+        if self._idle_since is not None:
+            idle = now - self._idle_since
+            if idle > 0 and capacity_bps > 0:
+                virtual_pkts = idle * capacity_bps / 8.0 / 500.0
+                self.avg *= (1.0 - self.weight) ** virtual_pkts
+            self._idle_since = None if backlog_bytes > 0 else now
+        self.avg += self.weight * (backlog_bytes - self.avg)
+
+        if self.avg < self.min_th:
+            self._count = 0
+            return False
+        if self.avg >= self.max_th:
+            self.forced_drops += 1
+            self._count = 0
+            return True
+        # linear region, with count-based spreading (Floyd & Jacobson Eq. 3)
+        pb = self.max_p * (self.avg - self.min_th) / (self.max_th - self.min_th)
+        self._count += 1
+        denom = 1.0 - self._count * pb
+        pa = pb / denom if denom > 0 else 1.0
+        if self.rng.random() < pa:
+            self.early_drops += 1
+            self._count = 0
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<REDQueue avg={self.avg:.0f}B th=[{self.min_th:.0f},"
+            f"{self.max_th:.0f}] drops={self.early_drops}+{self.forced_drops}>"
+        )

@@ -1,0 +1,152 @@
+"""Trace-replay cross traffic.
+
+The paper's Internet experiments ran over *real* background traffic; the
+standard laboratory substitute is replaying a packet trace — a sequence of
+``(timestamp, size_bytes)`` records — into the simulated link.  This
+module provides that source plus helpers to synthesize, save, and load
+traces, so experiments can pin their workload byte-for-byte.
+
+Traces use a trivially portable CSV format: one ``timestamp,size`` row per
+packet, timestamps in seconds from trace start, strictly non-decreasing.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .crosstraffic import PacketMix
+from .engine import Simulator
+from .link import Link
+from .packet import Packet, PacketKind
+from .path import PathNetwork
+
+__all__ = [
+    "TraceReplaySource",
+    "load_trace",
+    "save_trace",
+    "synthesize_trace",
+]
+
+
+def synthesize_trace(
+    rng: np.random.Generator,
+    rate_bps: float,
+    duration: float,
+    model: str = "pareto",
+    alpha: float = 1.9,
+    mix: Optional[PacketMix] = None,
+) -> np.ndarray:
+    """Generate a ``(n, 2)`` array of (timestamp, size) trace records.
+
+    The same interarrival/size models as the live sources, but materialized
+    up front so the identical byte sequence can be replayed across
+    experiments and implementations.
+    """
+    if rate_bps <= 0 or duration <= 0:
+        raise ValueError("rate and duration must be positive")
+    mix = mix if mix is not None else PacketMix()
+    mean_gap = mix.mean_size * 8.0 / rate_bps
+    est = int(duration / mean_gap * 1.5) + 16
+    if model == "poisson":
+        gaps = rng.exponential(mean_gap, size=est)
+    elif model == "pareto":
+        if alpha <= 1.0:
+            raise ValueError(f"alpha must exceed 1, got {alpha}")
+        xm = mean_gap * (alpha - 1.0) / alpha
+        gaps = xm * (1.0 + rng.pareto(alpha, size=est))
+    elif model == "cbr":
+        gaps = np.full(est, mean_gap)
+    else:
+        raise ValueError(f"unknown model {model!r}")
+    times = np.cumsum(gaps)
+    keep = times <= duration
+    times = times[keep]
+    sizes = mix.sample(rng, len(times))
+    return np.column_stack([times, sizes.astype(np.float64)])
+
+
+def save_trace(trace: np.ndarray, path: str) -> int:
+    """Write a trace to CSV; returns the number of records."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["timestamp", "size_bytes"])
+        for t, size in trace:
+            writer.writerow([f"{t:.9f}", int(size)])
+    return len(trace)
+
+
+def load_trace(path: str) -> np.ndarray:
+    """Read a CSV trace written by :func:`save_trace`."""
+    rows = []
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != ["timestamp", "size_bytes"]:
+            raise ValueError(f"not a trace file: unexpected header {header!r}")
+        for row in reader:
+            rows.append((float(row[0]), float(row[1])))
+    trace = np.array(rows, dtype=np.float64).reshape(-1, 2)
+    if len(trace) and np.any(np.diff(trace[:, 0]) < 0):
+        raise ValueError("trace timestamps must be non-decreasing")
+    return trace
+
+
+class TraceReplaySource:
+    """Replays a trace into one link, optionally looping.
+
+    Timestamps are offset by ``start``; with ``loop=True`` the trace
+    repeats end-to-start indefinitely (a stationary workload of exactly
+    the trace's rate).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: PathNetwork,
+        link: Link,
+        trace: Sequence[Sequence[float]],
+        start: float = 0.0,
+        loop: bool = False,
+        name: str = "replay",
+    ):
+        trace = np.asarray(trace, dtype=np.float64)
+        if trace.ndim != 2 or trace.shape[1] != 2 or len(trace) == 0:
+            raise ValueError("trace must be a non-empty (n, 2) array")
+        if np.any(np.diff(trace[:, 0]) < 0):
+            raise ValueError("trace timestamps must be non-decreasing")
+        if np.any(trace[:, 1] <= 0):
+            raise ValueError("trace packet sizes must be positive")
+        self.sim = sim
+        self.network = network
+        self.link = link
+        self.trace = trace
+        self.loop = loop
+        self.name = name
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self._index = 0
+        self._epoch = start  # sim-time at which trace time 0 maps
+        sim.schedule_at(start + float(trace[0, 0]), self._emit)
+
+    @property
+    def trace_duration(self) -> float:
+        """Span of the trace's timestamps."""
+        return float(self.trace[-1, 0])
+
+    def _emit(self) -> None:
+        t, size = self.trace[self._index]
+        pkt = Packet(int(size), flow_id=self.name, kind=PacketKind.CROSS)
+        self.network.inject_at(self.link, pkt)
+        self.packets_sent += 1
+        self.bytes_sent += int(size)
+        self._index += 1
+        if self._index >= len(self.trace):
+            if not self.loop:
+                return
+            self._index = 0
+            self._epoch = self._epoch + self.trace_duration
+        next_at = self._epoch + float(self.trace[self._index, 0])
+        self.sim.schedule_at(max(next_at, self.sim.now), self._emit)

@@ -1,0 +1,142 @@
+"""Tests for the analysis statistics and validation helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    PAPER_PERCENTILES,
+    cdf_points,
+    percentile_grid,
+    relative_variation,
+    summarize_ranges,
+    validate_many,
+    validate_range,
+    weighted_range_average,
+)
+
+
+class TestRelativeVariation:
+    def test_paper_example(self):
+        # a range [3.5, 5.5]: width 2 around center 4.5
+        assert relative_variation(3.5e6, 5.5e6) == pytest.approx(2 / 4.5)
+
+    def test_zero_width(self):
+        assert relative_variation(4e6, 4e6) == 0.0
+
+    def test_degenerate_zero_range(self):
+        assert relative_variation(0.0, 0.0) == 0.0
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            relative_variation(5e6, 4e6)
+
+    @given(
+        low=st.floats(0, 1e9),
+        width=st.floats(0, 1e9),
+    )
+    @settings(max_examples=100)
+    def test_bounded_zero_two(self, low, width):
+        """rho = width/center is in [0, 2] whenever low >= 0."""
+        rho = relative_variation(low, low + width)
+        assert 0.0 <= rho <= 2.0 + 1e-9
+
+
+class TestPercentiles:
+    def test_paper_grid(self):
+        assert PAPER_PERCENTILES == tuple(range(5, 100, 10))
+
+    def test_grid_values_sorted(self):
+        rng = np.random.default_rng(0)
+        grid = percentile_grid(rng.uniform(size=200))
+        values = [v for _p, v in grid]
+        assert values == sorted(values)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile_grid([])
+
+    def test_cdf_points(self):
+        xs, ps = cdf_points([3.0, 1.0, 2.0])
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert list(ps) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_cdf_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_points([])
+
+
+class TestWeightedAverage:
+    def test_equal_durations_is_plain_mean(self):
+        low, high = weighted_range_average(
+            [(10.0, 2e6, 4e6), (10.0, 4e6, 6e6)]
+        )
+        assert low == pytest.approx(3e6)
+        assert high == pytest.approx(5e6)
+
+    def test_duration_weighting(self):
+        """Eq. 11: longer runs dominate the average."""
+        low, high = weighted_range_average(
+            [(30.0, 2e6, 4e6), (10.0, 6e6, 8e6)]
+        )
+        assert low == pytest.approx((30 * 2e6 + 10 * 6e6) / 40)
+        assert high == pytest.approx((30 * 4e6 + 10 * 8e6) / 40)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_range_average([])
+
+    def test_zero_total_duration_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_range_average([(0.0, 1e6, 2e6)])
+
+
+class TestSummarizeRanges:
+    def test_mean_bounds(self):
+        summary = summarize_ranges([(2e6, 6e6), (4e6, 8e6)])
+        assert summary.mean_low_bps == pytest.approx(3e6)
+        assert summary.mean_high_bps == pytest.approx(7e6)
+        assert summary.mean_center_bps == pytest.approx(5e6)
+        assert summary.n_runs == 2
+
+    def test_cv_zero_for_identical_runs(self):
+        summary = summarize_ranges([(2e6, 6e6)] * 5)
+        assert summary.cv_low == 0.0
+        assert summary.cv_high == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_ranges([])
+
+
+class TestValidation:
+    def test_contains(self):
+        v = validate_range(3e6, 5e6, 4e6)
+        assert v.contains_truth
+        assert not v.underestimates and not v.overestimates
+        assert v.center_error == 0.0
+
+    def test_underestimate(self):
+        v = validate_range(1e6, 3e6, 4e6)
+        assert v.underestimates
+        assert not v.contains_truth
+        assert v.center_error == pytest.approx(-0.5)
+
+    def test_overestimate(self):
+        v = validate_range(5e6, 7e6, 4e6)
+        assert v.overestimates
+        assert v.center_error == pytest.approx(0.5)
+
+    def test_zero_truth_error_undefined(self):
+        v = validate_range(0.0, 1e6, 0.0)
+        with pytest.raises(ValueError):
+            _ = v.center_error
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            validate_range(5e6, 4e6, 4.5e6)
+
+    def test_validate_many(self):
+        checks = validate_many([(3e6, 5e6), (1e6, 2e6)], truth_bps=4e6)
+        assert [c.contains_truth for c in checks] == [True, False]

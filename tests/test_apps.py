@@ -1,0 +1,98 @@
+"""Tests for the application layer: ssthresh tuning and streaming."""
+
+import numpy as np
+import pytest
+
+from repro.apps import compare_slow_start, compare_streamers, tuned_tcp_config
+from repro.apps.streaming import AdaptiveStreamer, FixedStreamer
+from repro.netsim import Simulator, build_single_hop_path
+from repro.transport.tcp import TCPConfig
+
+
+class TestTunedConfig:
+    def test_bdp_sizing(self):
+        cfg = tuned_tcp_config(8e6, 0.2)
+        assert cfg.initial_ssthresh_bytes == int(8e6 * 0.2 / 8)
+
+    def test_floor_at_four_mss(self):
+        cfg = tuned_tcp_config(10e3, 0.001)
+        assert cfg.initial_ssthresh_bytes == 4 * cfg.mss
+
+    def test_base_config_preserved(self):
+        base = TCPConfig(mss=500, min_rto=0.3)
+        cfg = tuned_tcp_config(8e6, 0.2, base=base)
+        assert cfg.mss == 500
+        assert cfg.min_rto == 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tuned_tcp_config(0.0, 0.1)
+        with pytest.raises(ValueError):
+            tuned_tcp_config(1e6, 0.0)
+
+
+class TestSlowStartComparison:
+    def test_tuning_reduces_slow_start_losses(self):
+        """The Allman & Paxson use case, end-to-end."""
+        comparison = compare_slow_start(seed=3)
+        assert comparison.tuned.packets_dropped <= comparison.untuned.packets_dropped
+        assert comparison.tuned.retransmits <= comparison.untuned.retransmits
+        # and the transfer does not get slower
+        assert (
+            comparison.tuned.completion_time
+            <= comparison.untuned.completion_time * 1.1
+        )
+
+    def test_measurement_is_sane(self):
+        comparison = compare_slow_start(seed=3)
+        # truth is 7 Mb/s on the default path
+        assert 4e6 < comparison.measured_avail_bw_bps < 10e6
+
+
+class TestStreaming:
+    def test_fixed_streamer_counts_all_segments(self):
+        sim = Simulator()
+        rng = np.random.default_rng(0)
+        setup = build_single_hop_path(sim, 10e6, 0.2, rng, prop_delay=0.01)
+        streamer = FixedStreamer(sim, setup.network, rate_bps=2e6, segment_duration=1.0)
+        process = sim.process(streamer.run(3))
+        sim.run_until(process.done_event, limit=60.0)
+        assert len(streamer.report.segments) == 3
+        assert streamer.report.overall_loss_rate == 0.0
+        assert streamer.report.mean_rate_bps == 2e6
+
+    def test_adaptive_picks_within_ladder(self):
+        sim = Simulator()
+        rng = np.random.default_rng(1)
+        setup = build_single_hop_path(sim, 10e6, 0.3, rng, prop_delay=0.01)
+        ladder = (0.5e6, 1e6, 2e6, 4e6)
+        streamer = AdaptiveStreamer(
+            sim, setup.network, ladder_bps=ladder, segment_duration=1.0
+        )
+        holder = {}
+        sim.schedule_at(2.0, lambda: holder.update(p=sim.process(streamer.run(2))))
+        sim.run(until=2.0)
+        sim.run_until(holder["p"].done_event, limit=600.0)
+        assert all(r in ladder for r in streamer.report.chosen_rates())
+        assert len(streamer.measurements) == 2
+
+    def test_adaptation_beats_fixed_rate_through_a_surge(self):
+        fixed, adaptive = compare_streamers(seed=4, n_segments=4)
+        assert adaptive.overall_loss_rate < fixed.overall_loss_rate
+        # the adaptive client downshifts after the surge
+        rates = adaptive.chosen_rates()
+        assert min(rates[-2:]) <= min(rates[:2])
+
+    def test_empty_ladder_rejected(self):
+        sim = Simulator()
+        rng = np.random.default_rng(2)
+        setup = build_single_hop_path(sim, 10e6, 0.2, rng)
+        with pytest.raises(ValueError):
+            AdaptiveStreamer(sim, setup.network, ladder_bps=())
+
+    def test_bad_safety_rejected(self):
+        sim = Simulator()
+        rng = np.random.default_rng(3)
+        setup = build_single_hop_path(sim, 10e6, 0.2, rng)
+        with pytest.raises(ValueError):
+            AdaptiveStreamer(sim, setup.network, ladder_bps=(1e6,), safety=0.0)

@@ -1,0 +1,124 @@
+"""Tests for the baseline estimators: cprobe/ADR, packet pair, TOPP, BTC."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import run_btc, run_cprobe, run_packet_pair, run_topp
+from repro.netsim import LinkSpec, Simulator, build_path, build_single_hop_path
+from repro.transport.tcp import TCPConfig
+
+
+def loaded_path(seed=0, capacity=10e6, utilization=0.6, **kwargs):
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    setup = build_single_hop_path(
+        sim, capacity, utilization, rng, prop_delay=0.01, **kwargs
+    )
+    return sim, setup
+
+
+class TestCprobe:
+    def test_adr_between_avail_bw_and_capacity(self):
+        """The Section II claim: train dispersion measures the ADR."""
+        sim, setup = loaded_path(seed=1)
+        result = run_cprobe(sim, setup.network, start=2.0)
+        assert setup.avail_bw_bps < result.adr_bps < setup.capacity_bps
+
+    def test_adr_matches_fluid_prediction(self):
+        """ADR of a rate-R train: R*C/(C + R - A) from Proposition 2."""
+        sim, setup = loaded_path(seed=2)
+        rate = 2 * setup.capacity_bps
+        result = run_cprobe(sim, setup.network, start=2.0, train_rate_bps=rate)
+        predicted = rate * 10e6 / (10e6 + rate - 4e6)
+        assert result.adr_bps == pytest.approx(predicted, rel=0.1)
+
+    def test_idle_path_adr_is_capacity(self):
+        sim, setup = loaded_path(seed=3, utilization=0.0)
+        result = run_cprobe(sim, setup.network, start=0.5)
+        assert result.adr_bps == pytest.approx(10e6, rel=0.02)
+
+    def test_counts_losses(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(1e6, buffer_bytes=5000)])
+        result = run_cprobe(sim, net, start=0.0, n_trains=3, train_length=30)
+        assert result.loss_rate > 0.0
+
+    def test_validation(self):
+        sim, setup = loaded_path()
+        with pytest.raises(ValueError):
+            run_cprobe(sim, setup.network, n_trains=0)
+
+
+class TestPacketPair:
+    def test_measures_capacity_not_avail_bw(self):
+        sim, setup = loaded_path(seed=4)
+        result = run_packet_pair(sim, setup.network, start=2.0, n_pairs=60)
+        assert result.capacity_estimate_bps == pytest.approx(10e6, rel=0.15)
+        assert result.capacity_estimate_bps > 1.5 * setup.avail_bw_bps
+
+    def test_idle_path_exact(self):
+        sim, setup = loaded_path(seed=5, utilization=0.0)
+        result = run_packet_pair(sim, setup.network, start=0.5, n_pairs=10)
+        assert result.capacity_estimate_bps == pytest.approx(10e6, rel=0.05)
+
+    def test_validation(self):
+        sim, setup = loaded_path()
+        with pytest.raises(ValueError):
+            run_packet_pair(sim, setup.network, n_pairs=0)
+
+
+class TestTopp:
+    def test_knee_near_avail_bw(self):
+        sim, setup = loaded_path(seed=6)
+        result = run_topp(sim, setup.network, start=2.0, pairs_per_rate=25)
+        assert result.avail_bw_knee_bps == pytest.approx(4e6, rel=0.5)
+
+    def test_idle_path_never_saturates(self):
+        sim, setup = loaded_path(seed=7, utilization=0.0)
+        rates = list(np.linspace(1e6, 8e6, 6))
+        result = run_topp(
+            sim, setup.network, offered_rates_bps=rates, start=0.5, pairs_per_rate=10
+        )
+        # below-capacity pairs pass through untouched: knee = max offered
+        assert result.avail_bw_knee_bps == pytest.approx(8e6)
+
+    def test_ratio_curve_monotone_above_knee(self):
+        sim, setup = loaded_path(seed=8)
+        result = run_topp(sim, setup.network, start=2.0, pairs_per_rate=25)
+        ratios = result.ratios()
+        # last segment of the curve rises (deep saturation)
+        assert ratios[-1] > ratios[len(ratios) // 2]
+
+    def test_validation(self):
+        sim, setup = loaded_path()
+        with pytest.raises(ValueError):
+            run_topp(sim, setup.network, offered_rates_bps=[-1.0])
+        with pytest.raises(ValueError):
+            run_topp(sim, setup.network, pairs_per_rate=0)
+
+
+class TestBTC:
+    def test_saturates_idle_bottleneck(self):
+        sim = Simulator()
+        net = build_path(
+            sim, [LinkSpec(8e6, prop_delay=0.05, buffer_bytes=100_000)]
+        )
+        result = run_btc(
+            sim, net, t_start=0.0, t_end=40.0, config=TCPConfig(min_rto=0.5),
+            settle=15.0,
+        )
+        assert result.throughput_bps > 0.7 * 8e6
+        assert result.duration == 40.0
+
+    def test_bins_cover_measurement_window(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(8e6, prop_delay=0.02, buffer_bytes=100_000)])
+        result = run_btc(sim, net, t_start=0.0, t_end=10.0, settle=2.0)
+        assert len(result.binned_bps) == 8
+        assert result.max_bin_bps >= result.min_bin_bps
+
+    def test_validation(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(8e6)])
+        with pytest.raises(ValueError):
+            run_btc(sim, net, t_start=5.0, t_end=5.0)

@@ -1,0 +1,92 @@
+"""Tests for the measurement-campaign API."""
+
+import numpy as np
+import pytest
+
+from repro.campaign import MeasurementCampaign
+from repro.core.config import PathloadConfig
+from repro.netsim import Simulator, build_single_hop_path
+from repro.netsim.crosstraffic import attach_cross_traffic
+
+FAST = PathloadConfig(idle_factor=1.0)
+
+
+def build(seed=0, utilization=0.6, modulation=None):
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    setup = build_single_hop_path(
+        sim, 10e6, utilization, rng, prop_delay=0.01, modulation=modulation
+    )
+    return sim, setup
+
+
+class TestCampaign:
+    def test_collects_requested_measurements(self):
+        sim, setup = build(seed=1)
+        campaign = MeasurementCampaign(
+            sim, setup.network, setup.tight_link, config=FAST
+        )
+        result = campaign.run(3)
+        assert len(result.samples) == 3
+        # samples are consecutive in time
+        times = [(s.t_start, s.t_end) for s in result.samples]
+        assert all(t0 < t1 for t0, t1 in times)
+        assert all(a[1] <= b[0] + 1e-9 for a, b in zip(times, times[1:]))
+
+    def test_monitor_series_spans_the_campaign(self):
+        sim, setup = build(seed=2)
+        campaign = MeasurementCampaign(
+            sim, setup.network, setup.tight_link, config=FAST, monitor_window=5.0
+        )
+        result = campaign.run(2)
+        assert result.monitor_series
+        assert result.monitor_series[-1][0] >= result.samples[-1].t_end - 5.0
+
+    def test_coverage_against_stationary_truth(self):
+        sim, setup = build(seed=3)
+        campaign = MeasurementCampaign(
+            sim, setup.network, setup.tight_link, config=FAST, monitor_window=10.0
+        )
+        result = campaign.run(3)
+        # stationary load at A=4: most ranges cover the monitored value
+        assert result.coverage_fraction(slack_bps=1.5e6) >= 2 / 3
+
+    def test_tracks_a_load_shift(self):
+        """A mid-campaign load increase must show up in the measured series."""
+        sim, setup = build(seed=4, utilization=0.2)
+        # at t=30 an extra 5 Mb/s aggregate arrives: avail 8 -> 3 Mb/s
+        attach_cross_traffic(
+            sim, setup.network, setup.tight_link, 5e6,
+            np.random.default_rng(99), start=30.0,
+        )
+        campaign = MeasurementCampaign(
+            sim, setup.network, setup.tight_link, config=FAST, gap=2.0
+        )
+        result = campaign.run(8, time_limit=300.0)
+        series = result.measured_series()
+        early = [mid for (t, lo, hi) in series[:2] for mid in [(lo + hi) / 2] if t < 30]
+        late = [(lo + hi) / 2 for (t, lo, hi) in series if t > 40]
+        assert early and late
+        assert np.mean(late) < np.mean(early) - 2e6
+
+    def test_gap_reduces_probe_footprint(self):
+        def probe_bytes(gap):
+            sim, setup = build(seed=5)
+            campaign = MeasurementCampaign(
+                sim, setup.network, setup.tight_link, config=FAST, gap=gap
+            )
+            campaign.run(2)
+            elapsed = sim.now - 2.0
+            return campaign.channel.bytes_sent * 8 / elapsed
+
+        assert probe_bytes(10.0) < probe_bytes(0.0)
+
+    def test_validation(self):
+        sim, setup = build(seed=6)
+        with pytest.raises(ValueError):
+            MeasurementCampaign(
+                sim, setup.network, setup.tight_link, gap=-1.0
+            )
+        campaign = MeasurementCampaign(sim, setup.network, setup.tight_link)
+        with pytest.raises(ValueError):
+            campaign.run(0)

@@ -1,0 +1,156 @@
+"""White-box tests of the pathload controller's internal paths."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FluidLink,
+    FluidPath,
+    PathloadConfig,
+    PathloadController,
+    Termination,
+    run_controller_fluid,
+)
+from repro.core.fleet import FleetOutcome
+from repro.core.probing import Idle, PacketRecord, SendStream, StreamMeasurement
+
+
+def lossy_measurement(spec, received_fraction, t_start=0.0):
+    """A measurement with only the first fraction of packets received."""
+    n = max(2, int(spec.n_packets * received_fraction))
+    period = spec.period
+    records = [
+        PacketRecord(seq=i, sender_stamp=i * period, recv_stamp=i * period + 0.01)
+        for i in range(n)
+    ]
+    return StreamMeasurement(
+        spec=spec, records=records, n_sent=spec.n_packets,
+        t_start=t_start, t_end=t_start + spec.duration,
+    )
+
+
+class TestFleetEarlyAbort:
+    def test_lossy_streams_abort_the_fleet_early(self):
+        """More than max_lossy_streams moderate-loss streams cut the fleet
+        short, and the outcome is ABORTED_LOSS."""
+        cfg = PathloadConfig(initial_rate_bps=5e6, max_lossy_streams=2)
+        controller = PathloadController(cfg, rtt=0.01)
+        gen = controller.run()
+        action = next(gen)
+        streams_in_first_fleet = 0
+        first_fleet_rate = action.spec.rate_bps
+        while True:
+            if isinstance(action, SendStream):
+                if action.spec.rate_bps != first_fleet_rate:
+                    break  # fleet over; a new rate means a new fleet
+                streams_in_first_fleet += 1
+                action = gen.send(lossy_measurement(action.spec, 0.9))  # 10% loss
+            else:
+                action = gen.send(None)
+        # aborted after max_lossy_streams + 1 = 3 streams, not the full 12
+        assert streams_in_first_fleet == 3
+
+    def test_abort_lowers_next_fleet_rate(self):
+        cfg = PathloadConfig(initial_rate_bps=8e6, max_lossy_streams=1)
+        controller = PathloadController(cfg, rtt=0.01)
+        gen = controller.run()
+        action = next(gen)
+        rates = []
+        for _ in range(30):
+            if isinstance(action, SendStream):
+                rates.append(action.spec.rate_bps)
+                action = gen.send(lossy_measurement(action.spec, 0.85))
+            else:
+                action = gen.send(None)
+            if len(set(rates)) >= 2:
+                break
+        distinct = sorted(set(rates), reverse=True)
+        assert distinct[0] == pytest.approx(8e6)
+        assert distinct[1] < 8e6  # rate decreased after the aborted fleet
+
+
+class TestTerminationPaths:
+    def test_max_rate_reached_on_unloaded_fast_path(self):
+        """A fluid path faster than the probing ceiling terminates with
+        max-rate-reached and a lower bound near the ceiling."""
+        cfg = PathloadConfig()
+        path = FluidPath([FluidLink(1e9, 0.9e9)])
+        report = run_controller_fluid(PathloadController(cfg, rtt=0.01), path)
+        assert report.termination == Termination.MAX_RATE
+        assert report.low_bps >= 0.9 * cfg.max_rate_bps
+
+    def test_max_fleets_cap_respected(self):
+        """A pathological path (every fleet grey) stops at the cap."""
+        cfg = PathloadConfig(initial_rate_bps=5e6, max_fleets=3)
+        controller = PathloadController(cfg, rtt=0.01)
+        gen = controller.run()
+        action = next(gen)
+        fleet_count = 0
+        stream_in_fleet = 0
+        try:
+            while True:
+                if isinstance(action, SendStream):
+                    spec = action.spec
+                    # half the streams increasing, half not => grey forever
+                    stream_in_fleet += 1
+                    rising = stream_in_fleet % 2 == 0
+                    period = spec.period
+                    slope = 1e-4 if rising else 0.0
+                    records = [
+                        PacketRecord(
+                            seq=i,
+                            sender_stamp=i * period,
+                            recv_stamp=i * period + 0.01 + slope * i,
+                        )
+                        for i in range(spec.n_packets)
+                    ]
+                    m = StreamMeasurement(
+                        spec=spec, records=records, n_sent=spec.n_packets
+                    )
+                    if stream_in_fleet == cfg.n_streams:
+                        fleet_count += 1
+                        stream_in_fleet = 0
+                    action = gen.send(m)
+                else:
+                    action = gen.send(None)
+        except StopIteration as stop:
+            report = stop.value
+        assert len(report.fleets) <= 3
+        assert report.termination in (
+            Termination.MAX_FLEETS,
+            Termination.GREY_RESOLUTION,
+        )
+
+    def test_fleet_record_times_span_the_fleet(self):
+        path = FluidPath([FluidLink(10e6, 4e6)])
+        report = run_controller_fluid(
+            PathloadController(PathloadConfig(initial_rate_bps=6e6), rtt=0.02), path
+        )
+        for fleet in report.fleets:
+            assert fleet.t_end >= fleet.t_start
+        # fleets are time-ordered
+        starts = [f.t_start for f in report.fleets]
+        assert starts == sorted(starts)
+
+
+class TestGoldenDeterminism:
+    """Seed-locked regression values: if these change, the measurement
+    pipeline's behaviour changed (deliberately or not)."""
+
+    def test_fluid_run_is_bit_stable(self):
+        path = FluidPath([FluidLink(10e6, 4e6)], prop_delay=0.02)
+        a = run_controller_fluid(PathloadController(rtt=0.04), path)
+        b = run_controller_fluid(PathloadController(rtt=0.04), path)
+        assert (a.low_bps, a.high_bps) == (b.low_bps, b.high_bps)
+        # the exact converged range for this configuration
+        assert a.low_bps == pytest.approx(3.515625e6)
+        assert a.high_bps == pytest.approx(4.1015625e6)
+
+    def test_des_seeded_run_is_stable_within_session(self):
+        from repro import measure_avail_bw_sim
+
+        fast = PathloadConfig(idle_factor=1.0)
+        a = measure_avail_bw_sim(10e6, 0.6, seed=99, config=fast)
+        b = measure_avail_bw_sim(10e6, 0.6, seed=99, config=fast)
+        assert (a.low_bps, a.high_bps) == (b.low_bps, b.high_bps)
+        assert [f.outcome for f in a.fleets] == [f.outcome for f in b.fleets]

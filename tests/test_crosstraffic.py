@@ -1,0 +1,213 @@
+"""Tests for cross-traffic generation: rates, distributions, packet mixes."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import (
+    PAPER_PACKET_MIX,
+    LinkSpec,
+    PacketMix,
+    Simulator,
+    attach_cross_traffic,
+    build_path,
+)
+from repro.netsim.crosstraffic import CrossTrafficSource
+
+
+def harness(rate=5e6, model="poisson", n_sources=10, seconds=20.0, seed=0, alpha=1.9):
+    sim = Simulator()
+    net = build_path(sim, [LinkSpec(100e6, name="L")])
+    rng = np.random.default_rng(seed)
+    sources = attach_cross_traffic(
+        sim, net, net.forward_links[0], rate, rng, n_sources=n_sources, model=model,
+        alpha=alpha,
+    )
+    sim.run(until=seconds)
+    return net.forward_links[0], sources
+
+
+class TestPacketMix:
+    def test_paper_mix_mean(self):
+        mix = PacketMix(PAPER_PACKET_MIX)
+        assert mix.mean_size == pytest.approx(0.4 * 40 + 0.5 * 550 + 0.1 * 1500)
+
+    def test_sample_only_contains_mix_sizes(self):
+        mix = PacketMix(PAPER_PACKET_MIX)
+        rng = np.random.default_rng(1)
+        samples = mix.sample(rng, 1000)
+        assert set(np.unique(samples)) <= {40, 550, 1500}
+
+    def test_sample_proportions(self):
+        mix = PacketMix(PAPER_PACKET_MIX)
+        rng = np.random.default_rng(2)
+        samples = mix.sample(rng, 20000)
+        frac_40 = np.mean(samples == 40)
+        assert abs(frac_40 - 0.4) < 0.02
+
+    def test_constant_mix(self):
+        mix = PacketMix.constant(1000)
+        assert mix.mean_size == 1000
+
+    def test_bad_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            PacketMix(((100, 0.5), (200, 0.6)))
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            PacketMix(())
+
+
+class TestOfferedRate:
+    @pytest.mark.parametrize("model", ["poisson", "pareto", "cbr"])
+    def test_long_run_rate_matches_target(self, model):
+        link, _src = harness(rate=5e6, model=model, seconds=30.0)
+        achieved = link.stats.bytes_forwarded * 8 / 30.0
+        assert achieved == pytest.approx(5e6, rel=0.1)
+
+    def test_zero_rate_sends_nothing(self):
+        link, sources = harness(rate=0.0)
+        assert link.stats.packets_forwarded == 0
+
+    def test_rate_split_across_sources(self):
+        _link, sources = harness(rate=6e6, n_sources=10, seconds=10.0)
+        assert len(sources) == 10
+        rates = [s.rate_bps for s in sources]
+        assert all(r == pytest.approx(6e5) for r in rates)
+
+    def test_stop_time_respected(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(100e6)])
+        rng = np.random.default_rng(3)
+        attach_cross_traffic(
+            sim, net, net.forward_links[0], 5e6, rng, stop=1.0, model="poisson"
+        )
+        sim.run(until=10.0)
+        in_window = net.forward_links[0].stats.bytes_forwarded * 8
+        assert in_window <= 5e6 * 1.0 * 1.6  # nothing sent after t=1
+
+
+class TestBurstiness:
+    def test_pareto_is_burstier_than_poisson(self):
+        """Infinite-variance interarrivals: higher variance of per-window
+        counts (the property that matters for avail-bw variability)."""
+
+        def window_counts(model, seed):
+            sim = Simulator()
+            net = build_path(sim, [LinkSpec(1e9)])
+            rng = np.random.default_rng(seed)
+            counts = []
+            link = net.forward_links[0]
+            attach_cross_traffic(sim, net, link, 5e6, rng, model=model, n_sources=10)
+            prev = 0
+            for i in range(1, 200):
+                sim.run(until=i * 0.05)
+                counts.append(link.stats.packets_forwarded - prev)
+                prev = link.stats.packets_forwarded
+            return np.array(counts, dtype=float)
+
+        poisson = np.std(window_counts("poisson", 11))
+        pareto = np.std(window_counts("pareto", 11))
+        assert pareto > poisson
+
+    def test_cbr_is_nearly_deterministic(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(1e9)])
+        rng = np.random.default_rng(5)
+        link = net.forward_links[0]
+        attach_cross_traffic(
+            sim, net, link, 5e6, rng, model="cbr", n_sources=1,
+            mix=PacketMix.constant(500),
+        )
+        sim.run(until=2.0)
+        expected = 5e6 * 2.0 / 8 / 500
+        assert link.stats.packets_forwarded == pytest.approx(expected, abs=2)
+
+
+class TestModulation:
+    def test_long_run_rate_preserved(self):
+        """The mean-reverting walk must not bias the average offered load."""
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(1e9)])
+        rng = np.random.default_rng(7)
+        attach_cross_traffic(
+            sim, net, net.forward_links[0], 5e6, rng, modulation=(0.5, 0.3)
+        )
+        sim.run(until=120.0)
+        achieved = net.forward_links[0].stats.bytes_forwarded * 8 / 120.0
+        assert achieved == pytest.approx(5e6, rel=0.25)
+
+    def test_modulation_increases_slow_timescale_variance(self):
+        def window_rates(modulation, seed=8, window=1.0, n=60):
+            sim = Simulator()
+            net = build_path(sim, [LinkSpec(1e9)])
+            rng = np.random.default_rng(seed)
+            link = net.forward_links[0]
+            attach_cross_traffic(
+                sim, net, link, 5e6, rng, modulation=modulation
+            )
+            rates, prev = [], 0
+            for i in range(1, n + 1):
+                sim.run(until=i * window)
+                rates.append((link.stats.bytes_forwarded - prev) * 8 / window)
+                prev = link.stats.bytes_forwarded
+            return np.std(rates)
+
+        assert window_rates((1.0, 0.3)) > 1.5 * window_rates(None)
+
+    def test_factor_stays_clamped(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(1e9)])
+        rng = np.random.default_rng(9)
+        src = CrossTrafficSource(
+            sim, net, net.forward_links[0], 1e6, rng,
+            modulation=(0.05, 2.0),  # violent walk
+        )
+        for i in range(1, 200):
+            sim.run(until=i * 0.05)
+            assert 0.25 <= src._mod_factor <= 2.5
+
+    def test_invalid_modulation_rejected(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(1e6)])
+        with pytest.raises(ValueError, match="modulation"):
+            CrossTrafficSource(
+                sim, net, net.forward_links[0], 1e6,
+                np.random.default_rng(0), modulation=(0.0, 0.1),
+            )
+
+
+class TestValidation:
+    def test_unknown_model_rejected(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(1e6)])
+        with pytest.raises(ValueError, match="model"):
+            CrossTrafficSource(
+                sim, net, net.forward_links[0], 1e6,
+                np.random.default_rng(0), model="weibull",
+            )
+
+    def test_pareto_alpha_must_exceed_one(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(1e6)])
+        with pytest.raises(ValueError, match="alpha"):
+            CrossTrafficSource(
+                sim, net, net.forward_links[0], 1e6,
+                np.random.default_rng(0), model="pareto", alpha=0.9,
+            )
+
+    def test_negative_rate_rejected(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(1e6)])
+        with pytest.raises(ValueError):
+            CrossTrafficSource(
+                sim, net, net.forward_links[0], -1.0, np.random.default_rng(0)
+            )
+
+    def test_zero_sources_rejected(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(1e6)])
+        with pytest.raises(ValueError):
+            attach_cross_traffic(
+                sim, net, net.forward_links[0], 1e6,
+                np.random.default_rng(0), n_sources=0,
+            )

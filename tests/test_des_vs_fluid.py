@@ -1,0 +1,83 @@
+"""Cross-validation: the discrete-event simulator against the analytic
+fluid model.
+
+The Appendix's fluid model has closed forms for the OWD slope and the
+stream exit rate.  With near-fluid cross traffic (CBR with small packets),
+the packet-level simulator must converge to those predictions — a strong
+end-to-end consistency check between two completely independent
+implementations of the same physics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fluid import FluidLink, FluidPath
+from repro.core.probing import StreamSpec
+from repro.netsim import PacketMix, Simulator, build_single_hop_path
+from repro.transport.probe import ProbeChannel
+
+CAPACITY = 10e6
+AVAIL = 4e6  # utilization 0.6
+
+
+def des_stream(rate_bps, n_packets=100, packet_size=500, seed=0):
+    """Send one stream through the DES with near-fluid (CBR, 100 B) load."""
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    setup = build_single_hop_path(
+        sim,
+        CAPACITY,
+        1 - AVAIL / CAPACITY,
+        rng,
+        prop_delay=0.0,
+        traffic_model="cbr",
+        n_sources=40,
+        mix=PacketMix.constant(100),
+    )
+    channel = ProbeChannel(sim, setup.network)
+    spec = StreamSpec(rate_bps=rate_bps, packet_size=packet_size, n_packets=n_packets)
+    holder = {}
+    sim.schedule_at(1.0, lambda: holder.update(ev=channel.send_stream(spec)))
+    sim.run(until=1.0)
+    return sim.run_until(holder["ev"]), spec
+
+
+class TestOwdSlope:
+    @pytest.mark.parametrize("rate_mbps", [5.0, 6.0, 8.0])
+    def test_slope_matches_fluid_prediction(self, rate_mbps):
+        rate = rate_mbps * 1e6
+        measurement, spec = des_stream(rate)
+        owds = measurement.relative_owds()
+        # least-squares slope per packet
+        k = np.arange(len(owds))
+        slope = float(np.polyfit(k, owds, 1)[0])
+        fluid = FluidPath([FluidLink(CAPACITY, AVAIL)])
+        expected = fluid.owd_slope_per_packet(spec)
+        assert slope == pytest.approx(expected, rel=0.25)
+
+    def test_below_avail_bw_slope_negligible(self):
+        measurement, spec = des_stream(2e6)
+        owds = measurement.relative_owds()
+        k = np.arange(len(owds))
+        slope = float(np.polyfit(k, owds, 1)[0])
+        fluid_above = FluidPath(
+            [FluidLink(CAPACITY, AVAIL)]
+        ).owd_slope_per_packet(
+            StreamSpec(rate_bps=6e6, packet_size=spec.packet_size, n_packets=100)
+        )
+        assert abs(slope) < 0.2 * fluid_above
+
+
+class TestExitRate:
+    @pytest.mark.parametrize("rate_mbps", [6.0, 9.0, 15.0])
+    def test_dispersion_matches_proposition_2(self, rate_mbps):
+        """Receiver-side rate of a saturating stream: R*C/(C + R - A)."""
+        rate = rate_mbps * 1e6
+        measurement, _spec = des_stream(rate, n_packets=200)
+        fluid = FluidPath([FluidLink(CAPACITY, AVAIL)])
+        expected = fluid.exit_rate(rate)
+        assert measurement.dispersion_rate_bps() == pytest.approx(expected, rel=0.1)
+
+    def test_transparent_below_avail_bw(self):
+        measurement, _spec = des_stream(3e6, n_packets=200)
+        assert measurement.dispersion_rate_bps() == pytest.approx(3e6, rel=0.05)

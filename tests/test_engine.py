@@ -1,0 +1,198 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.netsim.engine import Event, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_callbacks_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, order.append, "b")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(3.0, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_are_fifo(self):
+        sim = Simulator()
+        order = []
+        for tag in range(5):
+            sim.schedule(1.0, order.append, tag)
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_times(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+        assert sim.now == 1.5
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_cancellation_skips_callback(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, 1)
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_run_until_time_limit_advances_clock(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+        # the event at t=10 still pending
+        assert sim.pending_count() == 1
+        sim.run()
+        assert sim.now == 10.0
+
+    def test_events_scheduled_during_run_are_processed(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, seen.append, sim.now + 1.0))
+        sim.run()
+        assert seen == [2.0]
+
+    def test_run_until_event_returns_value(self):
+        sim = Simulator()
+        ev = sim.event()
+        sim.schedule(2.0, ev.trigger, 42)
+        assert sim.run_until(ev) == 42
+
+    def test_run_until_deadlock_raises(self):
+        sim = Simulator()
+        ev = sim.event()
+        with pytest.raises(SimulationError, match="drained"):
+            sim.run_until(ev)
+
+
+class TestEvent:
+    def test_double_trigger_raises(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.trigger(1)
+        with pytest.raises(SimulationError):
+            ev.trigger(2)
+
+    def test_trigger_if_pending(self):
+        sim = Simulator()
+        ev = sim.event()
+        assert ev.trigger_if_pending("x") is True
+        assert ev.trigger_if_pending("y") is False
+        assert ev.value == "x"
+
+    def test_callback_after_trigger_runs_immediately(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.trigger("done")
+        got = []
+        ev.add_callback(got.append)
+        assert got == ["done"]
+
+    def test_timeout_event(self):
+        sim = Simulator()
+        ev = sim.timeout(3.0, "late")
+        sim.run()
+        assert ev.triggered and ev.value == "late"
+        assert sim.now == 3.0
+
+    def test_any_of_fires_on_first(self):
+        sim = Simulator()
+        a, b = sim.event(), sim.event()
+        combined = sim.any_of([a, b])
+        sim.schedule(1.0, b.trigger, "bee")
+        sim.schedule(2.0, a.trigger, "aye")
+        sim.run()
+        assert combined.value == (1, "bee")
+
+    def test_all_of_collects_values_in_order(self):
+        sim = Simulator()
+        a, b = sim.event(), sim.event()
+        combined = sim.all_of([a, b])
+        sim.schedule(2.0, a.trigger, "aye")
+        sim.schedule(1.0, b.trigger, "bee")
+        sim.run()
+        assert combined.value == ["aye", "bee"]
+
+    def test_all_of_empty_triggers_immediately(self):
+        sim = Simulator()
+        assert sim.all_of([]).triggered
+
+
+class TestProcess:
+    def test_sleep_and_return_value(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.5
+            yield 0.5
+            return sim.now
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.done_event.value == 2.0
+        assert not p.is_alive
+
+    def test_wait_on_event_receives_value(self):
+        sim = Simulator()
+        ev = sim.event()
+
+        def proc():
+            value = yield ev
+            return value * 2
+
+        p = sim.process(proc())
+        sim.schedule(1.0, ev.trigger, 21)
+        sim.run()
+        assert p.done_event.value == 42
+
+    def test_process_composition(self):
+        sim = Simulator()
+
+        def child():
+            yield 2.0
+            return "child-result"
+
+        def parent():
+            result = yield sim.process(child())
+            return ("got", result)
+
+        p = sim.process(parent())
+        sim.run()
+        assert p.done_event.value == ("got", "child-result")
+
+    def test_invalid_yield_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield "nonsense"
+
+        sim.process(proc())
+        with pytest.raises(SimulationError, match="unsupported"):
+            sim.run()
+
+    def test_exceptions_propagate_out_of_run(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+            raise ValueError("boom")
+
+        sim.process(proc())
+        with pytest.raises(ValueError, match="boom"):
+            sim.run()

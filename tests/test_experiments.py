@@ -1,0 +1,101 @@
+"""Tests for the experiment harness: registries, testbeds, small runs."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import REGISTRY
+from repro.experiments.base import Scale
+from repro.experiments.fig01_03_owd import measure_single_stream
+from repro.experiments.sectionvii import INTERVAL_NAMES, IntervalSchedule, build_testbed
+
+
+class TestRegistry:
+    def test_every_paper_figure_is_registered(self):
+        expected = {
+            "fig01-03", "fig05", "fig06", "fig07", "fig08", "fig09",
+            "fig10", "fig11", "fig12", "fig13", "fig14", "fig15-16",
+            "fig17-18",
+        }
+        assert set(REGISTRY) == expected
+
+    def test_entries_are_callable(self):
+        assert all(callable(fn) for fn in REGISTRY.values())
+
+
+class TestIntervalSchedule:
+    def test_bounds(self):
+        sched = IntervalSchedule(t0=10.0, interval=60.0)
+        assert sched.bounds("A") == (10.0, 70.0)
+        assert sched.bounds("E") == (250.0, 310.0)
+        assert sched.end == 310.0
+
+    def test_unknown_interval_rejected(self):
+        sched = IntervalSchedule(t0=0.0, interval=1.0)
+        with pytest.raises(ValueError):
+            sched.bounds("Z")
+
+    def test_names_are_consecutive(self):
+        sched = IntervalSchedule(t0=0.0, interval=5.0)
+        bounds = [sched.bounds(n) for n in INTERVAL_NAMES]
+        for (s1, e1), (s2, _e2) in zip(bounds, bounds[1:]):
+            assert e1 == s2
+
+
+class TestSectionViiTestbed:
+    def test_background_leaves_expected_avail_bw(self):
+        bed = build_testbed(seed=1, interval=20.0)
+        bed.sim.run(until=bed.schedule.bounds("A")[1] + 0.1)
+        avail = bed.interval_avail_bw("A")
+        # 4 flows x ~1.3 Mb/s on 8.2 Mb/s => ~3 Mb/s left
+        assert 1.5e6 < avail < 4.5e6
+
+    def test_quiescent_rtt_is_base_rtt(self):
+        bed = build_testbed(seed=2, interval=20.0)
+        bed.sim.run(until=bed.schedule.bounds("A")[1] + 0.1)
+        rtts = bed.interval_rtts("A")
+        assert min(rtts) == pytest.approx(0.2, rel=0.05)
+
+    def test_missing_window_raises(self):
+        bed = build_testbed(seed=3, interval=20.0)
+        with pytest.raises(ValueError):
+            bed.interval_avail_bw("E")  # nothing simulated yet
+
+
+class TestFig0103Harness:
+    def test_stream_above_avail_bw_detected(self):
+        measurement, classification = measure_single_stream(96e6, seed=5)
+        assert classification.stream_type.value == "I"
+        assert measurement.n_received == 100
+
+    def test_stream_below_avail_bw_not_detected(self):
+        _m, classification = measure_single_stream(37e6, seed=6)
+        assert classification.stream_type.value in ("N", "A")
+
+
+class TestSmallFigureRuns:
+    """End-to-end sanity of representative experiment modules at tiny scale
+    (well-formedness, not statistical shape — the benches do that)."""
+
+    def test_fig08_rows_well_formed(self):
+        from repro.experiments import fig08_fraction
+
+        result = fig08_fraction.run(scale=Scale(runs=1, interval=10.0, full=False))
+        assert len(result.rows) == len(fig08_fraction.FRACTIONS)
+        assert all(r["avg_width_mbps"] >= 0 for r in result.rows)
+
+    def test_fig11_percentile_grid_complete(self):
+        from repro.experiments import fig11_load_variability
+
+        result = fig11_load_variability.run(
+            scale=Scale(runs=2, interval=10.0, full=False)
+        )
+        # 3 load ranges x 10 percentiles
+        assert len(result.rows) == 30
+        assert all(0 <= r["rho"] <= 2.0 for r in result.rows)
+
+    def test_table_rendering(self):
+        from repro.experiments import fig01_03_owd
+
+        table = fig01_03_owd.run().to_table()
+        assert "fig01-03" in table
+        assert "R>A" in table

@@ -1,0 +1,171 @@
+"""Tests for fleet-level classification and the loss rules."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PathloadConfig
+from repro.core.fleet import FleetOutcome, classify_fleet, classify_stream
+from repro.core.probing import PacketRecord, StreamMeasurement, StreamSpec
+from repro.core.trend import StreamClassification, StreamType
+
+
+def make_measurement(owds, n_sent=None, rate=5e6, size=200):
+    """Build a StreamMeasurement with the given OWDs (one record each)."""
+    k = len(owds)
+    spec = StreamSpec(rate_bps=rate, packet_size=size, n_packets=max(k, 2))
+    period = spec.period
+    records = [
+        PacketRecord(seq=i, sender_stamp=i * period, recv_stamp=i * period + owd)
+        for i, owd in enumerate(owds)
+    ]
+    return StreamMeasurement(
+        spec=spec, records=records, n_sent=n_sent if n_sent is not None else k
+    )
+
+
+def cls(stream_type):
+    return StreamClassification(stream_type=stream_type, pct=0.5, pdt=0.0, n_groups=10)
+
+
+class TestClassifyStream:
+    def test_increasing_owds_classified_type_i(self):
+        m = make_measurement(np.linspace(0, 1e-3, 100))
+        c = classify_stream(m, PathloadConfig())
+        assert c.stream_type is StreamType.INCREASING
+
+    def test_excessive_loss_is_unusable(self):
+        # 100 sent, 80 received => 20% loss > 10% threshold
+        m = make_measurement(np.zeros(80), n_sent=100)
+        c = classify_stream(m, PathloadConfig())
+        assert c.stream_type is StreamType.UNUSABLE
+
+    def test_nearly_empty_stream_is_unusable(self):
+        m = make_measurement(np.zeros(3), n_sent=100)
+        assert classify_stream(m, PathloadConfig()).stream_type is StreamType.UNUSABLE
+
+    def test_sender_rate_deviation_discards_stream(self):
+        """Context switches at the sender: the receiver sees wrong gaps."""
+        spec = StreamSpec(rate_bps=5e6, packet_size=200, n_packets=100)
+        period = spec.period
+        rng = np.random.default_rng(0)
+        records = []
+        t = 0.0
+        for i in range(100):
+            records.append(PacketRecord(seq=i, sender_stamp=t, recv_stamp=t + 0.01))
+            # a third of the gaps are badly late (context switches)
+            gap = period * (3.0 if rng.random() < 0.33 else 1.0)
+            t += gap
+        m = StreamMeasurement(spec=spec, records=records, n_sent=100)
+        c = classify_stream(m, PathloadConfig())
+        assert c.stream_type is StreamType.UNUSABLE
+
+    def test_small_send_jitter_tolerated(self):
+        spec = StreamSpec(rate_bps=5e6, packet_size=200, n_packets=100)
+        period = spec.period
+        rng = np.random.default_rng(1)
+        records = []
+        t = 0.0
+        for i in range(100):
+            records.append(PacketRecord(seq=i, sender_stamp=t, recv_stamp=t + 0.01))
+            t += period * (1.0 + rng.uniform(-0.05, 0.05))
+        m = StreamMeasurement(spec=spec, records=records, n_sent=100)
+        c = classify_stream(m, PathloadConfig())
+        assert c.stream_type is not StreamType.UNUSABLE
+
+    def test_paper_rule_dispatch(self):
+        m = make_measurement(np.linspace(0, 1e-3, 100))
+        cfg = PathloadConfig(classification_rule="paper")
+        assert classify_stream(m, cfg).stream_type is StreamType.INCREASING
+
+
+class TestClassifyFleet:
+    def setup_method(self):
+        self.cfg = PathloadConfig()  # N=12, f=0.7 => need ceil(0.7*12)=9
+        self.clean = [make_measurement(np.zeros(100)) for _ in range(12)]
+
+    def test_unanimous_increasing_is_above(self):
+        cs = [cls(StreamType.INCREASING)] * 12
+        assert classify_fleet(cs, self.clean, self.cfg) is FleetOutcome.ABOVE
+
+    def test_unanimous_nonincreasing_is_below(self):
+        cs = [cls(StreamType.NONINCREASING)] * 12
+        assert classify_fleet(cs, self.clean, self.cfg) is FleetOutcome.BELOW
+
+    def test_exact_fraction_boundary(self):
+        cs = [cls(StreamType.INCREASING)] * 9 + [cls(StreamType.NONINCREASING)] * 3
+        assert classify_fleet(cs, self.clean, self.cfg) is FleetOutcome.ABOVE
+        cs = [cls(StreamType.INCREASING)] * 8 + [cls(StreamType.NONINCREASING)] * 4
+        assert classify_fleet(cs, self.clean, self.cfg) is FleetOutcome.GREY
+
+    def test_split_verdict_is_grey(self):
+        cs = [cls(StreamType.INCREASING)] * 6 + [cls(StreamType.NONINCREASING)] * 6
+        assert classify_fleet(cs, self.clean, self.cfg) is FleetOutcome.GREY
+
+    def test_ambiguous_streams_push_toward_grey(self):
+        cs = (
+            [cls(StreamType.INCREASING)] * 7
+            + [cls(StreamType.AMBIGUOUS)] * 4
+            + [cls(StreamType.NONINCREASING)]
+        )
+        # 7 < ceil(0.7*12)=9 increasing
+        assert classify_fleet(cs, self.clean, self.cfg) is FleetOutcome.GREY
+
+    def test_unusable_excluded_from_denominator(self):
+        cs = [cls(StreamType.INCREASING)] * 6 + [cls(StreamType.UNUSABLE)] * 6
+        # 6 usable, need ceil(0.7*6)=5 increasing: above
+        assert classify_fleet(cs, self.clean, self.cfg) is FleetOutcome.ABOVE
+
+    def test_too_few_usable_streams_aborts(self):
+        cs = [cls(StreamType.INCREASING)] * 2 + [cls(StreamType.UNUSABLE)] * 10
+        assert classify_fleet(cs, self.clean, self.cfg) is FleetOutcome.ABORTED_LOSS
+
+    def test_moderate_loss_streams_abort_fleet(self):
+        lossy = [make_measurement(np.zeros(95), n_sent=100) for _ in range(4)]
+        measurements = lossy + self.clean[:8]
+        cs = [cls(StreamType.NONINCREASING)] * 12
+        # 4 streams with 5% loss > max_lossy_streams=3
+        assert classify_fleet(cs, measurements, self.cfg) is FleetOutcome.ABORTED_LOSS
+
+    def test_fraction_configurable(self):
+        cfg = PathloadConfig(fleet_fraction=0.5)
+        cs = [cls(StreamType.INCREASING)] * 6 + [cls(StreamType.NONINCREASING)] * 6
+        assert classify_fleet(cs, self.clean, cfg) is FleetOutcome.ABOVE
+
+
+class TestMeasurementAccessors:
+    def test_loss_rate(self):
+        m = make_measurement(np.zeros(90), n_sent=100)
+        assert m.loss_rate == pytest.approx(0.1)
+
+    def test_records_sorted_by_seq(self):
+        spec = StreamSpec(rate_bps=1e6, packet_size=200, n_packets=3)
+        records = [
+            PacketRecord(seq=2, sender_stamp=0.2, recv_stamp=0.25),
+            PacketRecord(seq=0, sender_stamp=0.0, recv_stamp=0.05),
+            PacketRecord(seq=1, sender_stamp=0.1, recv_stamp=0.15),
+        ]
+        m = StreamMeasurement(spec=spec, records=records, n_sent=3)
+        assert [r.seq for r in m.records] == [0, 1, 2]
+
+    def test_sender_gaps_normalized_over_losses(self):
+        spec = StreamSpec(rate_bps=1e6, packet_size=200, n_packets=4)
+        t = spec.period
+        records = [
+            PacketRecord(seq=0, sender_stamp=0.0, recv_stamp=0.1),
+            # seq 1 lost
+            PacketRecord(seq=2, sender_stamp=2 * t, recv_stamp=0.1 + 2 * t),
+            PacketRecord(seq=3, sender_stamp=3 * t, recv_stamp=0.1 + 3 * t),
+        ]
+        m = StreamMeasurement(spec=spec, records=records, n_sent=4)
+        gaps = m.sender_gaps()
+        assert np.allclose(gaps, t)
+
+    def test_dispersion_rate(self):
+        spec = StreamSpec(rate_bps=8e6, packet_size=1000, n_packets=2)
+        records = [
+            PacketRecord(seq=0, sender_stamp=0.0, recv_stamp=0.010),
+            PacketRecord(seq=1, sender_stamp=0.001, recv_stamp=0.012),
+        ]
+        m = StreamMeasurement(spec=spec, records=records, n_sent=2)
+        # 1 packet * 8000 bits in 2 ms = 4 Mb/s
+        assert m.dispersion_rate_bps() == pytest.approx(4e6)

@@ -1,0 +1,150 @@
+"""Tests of the analytic fluid model against the paper's Appendix results."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fluid import FluidLink, FluidPath
+from repro.core.probing import StreamSpec
+
+
+def spec(rate, size=200, k=100):
+    return StreamSpec(rate_bps=rate, packet_size=size, n_packets=k)
+
+
+class TestSingleLink:
+    def test_proposition1_below_avail_bw_constant_owds(self):
+        path = FluidPath([FluidLink(10e6, 4e6)])
+        owds = path.stream_owds(spec(3e6))
+        assert np.all(np.diff(owds) == 0.0)
+
+    def test_proposition1_above_avail_bw_strictly_increasing(self):
+        path = FluidPath([FluidLink(10e6, 4e6)])
+        owds = path.stream_owds(spec(5e6))
+        assert np.all(np.diff(owds) > 0.0)
+
+    def test_rate_equal_avail_bw_is_boundary_constant(self):
+        path = FluidPath([FluidLink(10e6, 4e6)])
+        owds = path.stream_owds(spec(4e6))
+        assert np.all(np.diff(owds) == 0.0)
+
+    def test_exit_rate_formula(self):
+        """Appendix Eq. (16): R_out = R*C / (C + R - A)."""
+        path = FluidPath([FluidLink(10e6, 4e6)])
+        r = 8e6
+        expected = r * 10e6 / (10e6 + r - 4e6)
+        assert path.exit_rate(r) == pytest.approx(expected)
+
+    def test_exit_rate_transparent_below_avail_bw(self):
+        path = FluidPath([FluidLink(10e6, 4e6)])
+        assert path.exit_rate(3e6) == 3e6
+
+    def test_owd_slope_matches_queue_growth(self):
+        """delta = L8 (R - A) / (R C) per packet."""
+        link = FluidLink(10e6, 4e6)
+        path = FluidPath([link])
+        s = spec(8e6)
+        slope = path.owd_slope_per_packet(s)
+        expected = s.packet_size * 8 * (8e6 - 4e6) / (8e6 * 10e6)
+        assert slope == pytest.approx(expected)
+
+    def test_base_owd_includes_serialization_and_prop(self):
+        path = FluidPath([FluidLink(10e6, 10e6)], prop_delay=0.05)
+        owds = path.stream_owds(spec(1e6, size=1250))
+        assert owds[0] == pytest.approx(0.05 + 1250 * 8 / 10e6)
+
+
+class TestMultiHop:
+    def test_tight_link_determines_behaviour(self):
+        path = FluidPath(
+            [FluidLink(100e6, 40e6), FluidLink(10e6, 4e6), FluidLink(50e6, 30e6)]
+        )
+        assert path.avail_bw_bps == 4e6
+        assert path.tight_link_index == 1
+        assert np.all(np.diff(path.stream_owds(spec(3.9e6))) == 0)
+        assert np.all(np.diff(path.stream_owds(spec(4.1e6))) > 0)
+
+    def test_proposition2_exit_rate_depends_on_all_saturated_links(self):
+        """Rate attenuates at each link whose avail-bw it exceeds."""
+        l1 = FluidLink(10e6, 5e6)
+        l2 = FluidLink(8e6, 4e6)
+        path = FluidPath([l1, l2])
+        r = 9e6
+        r1 = r * 10e6 / (10e6 + r - 5e6)
+        expected = r1 * 8e6 / (8e6 + r1 - 4e6) if r1 > 4e6 else r1
+        assert path.exit_rate(r) == pytest.approx(expected)
+
+    def test_entry_rates_monotonically_nonincreasing(self):
+        path = FluidPath([FluidLink(10e6, 5e6), FluidLink(8e6, 4e6), FluidLink(6e6, 3e6)])
+        rates = path.entry_rates(9e6)
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_narrow_vs_tight_distinction(self):
+        # narrow link (min capacity) is link 0; tight (min avail-bw) is link 1
+        path = FluidPath([FluidLink(10e6, 8e6), FluidLink(100e6, 5e6)])
+        assert path.capacity_bps == 10e6
+        assert path.avail_bw_bps == 5e6
+        assert path.tight_link_index == 1
+
+
+class TestMeasurement:
+    def test_measurement_has_all_packets(self):
+        path = FluidPath([FluidLink(10e6, 4e6)])
+        m = path.measure_stream(spec(5e6), t_start=3.0)
+        assert m.n_received == 100
+        assert m.loss_rate == 0.0
+        assert m.t_start == 3.0
+
+    def test_clock_offset_shifts_owds_uniformly(self):
+        path = FluidPath([FluidLink(10e6, 4e6)])
+        plain = path.measure_stream(spec(5e6))
+        shifted = path.measure_stream(spec(5e6), clock_offset=7.5)
+        d = shifted.relative_owds() - plain.relative_owds()
+        assert np.allclose(d, 7.5)
+
+    def test_noise_is_reproducible_with_seed(self):
+        path = FluidPath([FluidLink(10e6, 4e6)])
+        a = path.measure_stream(spec(5e6), noise_rng=np.random.default_rng(9), noise_std=1e-4)
+        b = path.measure_stream(spec(5e6), noise_rng=np.random.default_rng(9), noise_std=1e-4)
+        assert np.array_equal(a.relative_owds(), b.relative_owds())
+
+
+class TestValidation:
+    def test_avail_bw_above_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FluidLink(10e6, 11e6)
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            FluidPath([])
+
+    def test_nonpositive_rate_rejected(self):
+        path = FluidPath([FluidLink(10e6, 4e6)])
+        with pytest.raises(ValueError):
+            path.entry_rates(0.0)
+
+
+class TestProposition1Property:
+    @given(
+        capacity=st.floats(1e6, 1e9),
+        utilization=st.floats(0.0, 0.99),
+        rate_factor=st.floats(0.01, 10.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_owd_trend_iff_rate_above_avail_bw(
+        self, capacity, utilization, rate_factor
+    ):
+        """Proposition 1 as a property over the whole parameter space."""
+        avail = capacity * (1.0 - utilization)
+        if avail <= 0:
+            return
+        path = FluidPath([FluidLink(capacity, avail)])
+        rate = avail * rate_factor
+        if rate <= 0:
+            return
+        diffs = np.diff(path.stream_owds(spec(rate)))
+        if rate > avail * (1 + 1e-9):
+            assert np.all(diffs > 0)
+        elif rate < avail * (1 - 1e-9):
+            assert np.all(diffs == 0)

@@ -1,0 +1,96 @@
+"""Tests for graph-based topology construction."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.netsim import Simulator
+from repro.netsim.graph import build_graph_path, route_nodes
+from repro.transport.probe import run_pathload
+from repro.experiments.base import fast_pathload_config
+
+
+def demo_graph():
+    """A diamond: two routes from A to D, one fast, one slow."""
+    g = nx.Graph()
+    g.add_edge("A", "B", capacity_bps=100e6, prop_delay=0.005, utilization=0.1)
+    g.add_edge("B", "D", capacity_bps=10e6, prop_delay=0.005, utilization=0.6)
+    g.add_edge("A", "C", capacity_bps=100e6, prop_delay=0.050, utilization=0.1)
+    g.add_edge("C", "D", capacity_bps=100e6, prop_delay=0.050, utilization=0.1)
+    return g
+
+
+class TestRouting:
+    def test_latency_routing_prefers_fast_branch(self):
+        assert route_nodes(demo_graph(), "A", "D") == ["A", "B", "D"]
+
+    def test_hop_routing(self):
+        g = demo_graph()
+        g.add_edge("A", "D", capacity_bps=1e6, prop_delay=10.0)
+        assert route_nodes(g, "A", "D", weight="hops") == ["A", "D"]
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            route_nodes(demo_graph(), "A", "Z")
+
+    def test_disconnected_rejected(self):
+        g = demo_graph()
+        g.add_node("X")
+        with pytest.raises(ValueError, match="no route"):
+            route_nodes(g, "A", "X")
+
+
+class TestBuildGraphPath:
+    def test_ground_truth_from_routed_links(self):
+        sim = Simulator()
+        setup = build_graph_path(
+            sim, demo_graph(), "A", "D", np.random.default_rng(0)
+        )
+        # route A-B-D: tight link is B-D with avail 10*(1-0.6) = 4 Mb/s
+        assert setup.avail_bw_bps == pytest.approx(4e6)
+        assert setup.capacity_bps == 10e6
+        assert setup.tight_link.name == "B->D"
+
+    def test_cross_traffic_attached_per_link(self):
+        sim = Simulator()
+        setup = build_graph_path(
+            sim, demo_graph(), "A", "D", np.random.default_rng(1),
+            sources_per_link=3,
+        )
+        # both routed links are loaded: 2 links x 3 sources
+        assert len(setup.sources) == 6
+        sim.run(until=5.0)
+        util = (
+            setup.tight_link.stats.bytes_forwarded * 8 / 5.0
+            / setup.tight_link.capacity_bps
+        )
+        assert util == pytest.approx(0.6, rel=0.3)
+
+    def test_pathload_over_graph_route(self):
+        sim = Simulator()
+        setup = build_graph_path(
+            sim, demo_graph(), "A", "D", np.random.default_rng(2)
+        )
+        report = run_pathload(
+            sim, setup.network, config=fast_pathload_config(), start=2.0,
+            time_limit=600.0,
+        )
+        assert report.low_bps - 1e6 <= setup.avail_bw_bps <= report.high_bps + 1e6
+
+    def test_missing_capacity_rejected(self):
+        g = nx.Graph()
+        g.add_edge("A", "B", prop_delay=0.01)
+        with pytest.raises(ValueError, match="capacity"):
+            build_graph_path(Simulator(), g, "A", "B", np.random.default_rng(0))
+
+    def test_bad_utilization_rejected(self):
+        g = nx.Graph()
+        g.add_edge("A", "B", capacity_bps=1e6, utilization=1.0)
+        with pytest.raises(ValueError, match="utilization"):
+            build_graph_path(Simulator(), g, "A", "B", np.random.default_rng(0))
+
+    def test_same_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            build_graph_path(
+                Simulator(), demo_graph(), "A", "A", np.random.default_rng(0)
+            )

@@ -1,0 +1,114 @@
+"""Integration tests: full pathload measurements over the DES.
+
+These are the end-to-end checks of the repository's headline claim — that
+the reproduced pathload brackets the configured avail-bw over the
+reproduced network simulator — plus robustness to host imperfections.
+"""
+
+import numpy as np
+import pytest
+
+from repro import measure_avail_bw_sim
+from repro.core.config import PathloadConfig
+from repro.netsim import Simulator, build_fig4_path, build_single_hop_path, Fig4Config
+from repro.netsim.clock import NoisyClock, OffsetClock, SkewedClock
+from repro.runner import measure_fig4_path
+from repro.transport.probe import ProbeChannel, SendJitter, run_pathload
+
+FAST = PathloadConfig(idle_factor=1.0)
+
+
+class TestSingleHopAccuracy:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_range_brackets_truth(self, seed):
+        report = measure_avail_bw_sim(
+            capacity_bps=10e6, utilization=0.6, seed=seed, config=FAST
+        )
+        assert report.low_bps <= 4e6 <= report.high_bps
+
+    def test_light_load(self):
+        report = measure_avail_bw_sim(
+            capacity_bps=10e6, utilization=0.2, seed=3, config=FAST
+        )
+        # A = 8; allow the resolution omega of slack
+        assert report.low_bps - 1e6 <= 8e6 <= report.high_bps + 1e6
+
+    def test_heavy_load(self):
+        report = measure_avail_bw_sim(
+            capacity_bps=10e6, utilization=0.8, seed=4, config=FAST
+        )
+        assert report.low_bps - 1e6 <= 2e6 <= report.high_bps + 1e6
+
+    def test_poisson_traffic(self):
+        report = measure_avail_bw_sim(
+            capacity_bps=10e6, utilization=0.6, seed=5, config=FAST,
+            traffic_model="poisson",
+        )
+        assert report.low_bps <= 4e6 <= report.high_bps
+
+    def test_deterministic_given_seed(self):
+        a = measure_avail_bw_sim(capacity_bps=10e6, utilization=0.5, seed=11, config=FAST)
+        b = measure_avail_bw_sim(capacity_bps=10e6, utilization=0.5, seed=11, config=FAST)
+        assert a.low_bps == b.low_bps
+        assert a.high_bps == b.high_bps
+        assert len(a.fleets) == len(b.fleets)
+
+
+class TestFig4Accuracy:
+    def test_default_topology(self):
+        report, setup = measure_fig4_path(Fig4Config(), seed=21, config=FAST)
+        assert report.low_bps <= setup.avail_bw_bps <= report.high_bps
+
+
+class TestHostImperfections:
+    def _measure(self, seed=31, **channel_kwargs):
+        sim = Simulator()
+        rng = np.random.default_rng(seed)
+        setup = build_single_hop_path(sim, 10e6, 0.6, rng, prop_delay=0.01)
+        channel = ProbeChannel(sim, setup.network, **channel_kwargs)
+        return run_pathload(
+            sim, setup.network, config=FAST, start=2.0, channel=channel,
+            time_limit=600.0,
+        )
+
+    def test_clock_offset_between_hosts(self):
+        """Unsynchronized clocks (the paper's Section IV claim)."""
+        report = self._measure(
+            sender_clock=OffsetClock(-17.3), receiver_clock=OffsetClock(42.0)
+        )
+        assert report.low_bps <= 4e6 <= report.high_bps
+
+    def test_clock_skew(self):
+        """Tens of ppm of skew are nanoseconds per stream: harmless."""
+        report = self._measure(
+            sender_clock=SkewedClock(skew_ppm=50.0),
+            receiver_clock=SkewedClock(skew_ppm=-30.0),
+        )
+        assert report.low_bps <= 4e6 <= report.high_bps
+
+    def test_timestamp_noise(self):
+        rng = np.random.default_rng(77)
+        report = self._measure(
+            receiver_clock=NoisyClock(rng, noise_max=5e-6)
+        )
+        assert report.low_bps <= 4e6 <= report.high_bps
+
+    def test_send_jitter(self):
+        """Occasional context-switch delays at the sender."""
+        rng = np.random.default_rng(78)
+        report = self._measure(
+            jitter=SendJitter(rng, prob=0.02, max_delay=300e-6)
+        )
+        # jitter adds noise; the range may widen but should stay sane
+        assert report.low_bps <= 4e6 + 1e6
+        assert report.high_bps >= 4e6 - 1e6
+
+
+class TestSaturatedPathIntegration:
+    def test_nearly_full_link(self):
+        report = measure_avail_bw_sim(
+            capacity_bps=10e6, utilization=0.97, seed=41, config=FAST
+        )
+        # avail-bw 0.3 Mb/s: the report must not claim much bandwidth
+        assert report.low_bps <= 1e6
+        assert report.high_bps <= 4e6

@@ -1,0 +1,76 @@
+"""Integration tests of pathload's loss-handling path over the DES.
+
+The paper: a stream with >10 % loss is discarded; a fleet with several
+moderately lossy streams is aborted and the next fleet probes a lower
+rate.  A small drop-tail buffer on the tight link exercises all of it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PathloadConfig
+from repro.core.fleet import FleetOutcome
+from repro.netsim import Simulator, build_single_hop_path
+from repro.transport.probe import run_pathload
+
+FAST = PathloadConfig(idle_factor=1.0)
+
+
+class TestLossyPath:
+    def test_measurement_completes_despite_losses(self):
+        """A 12 kB buffer drops probe bursts at high rates; pathload must
+        still converge to a sane range."""
+        sim = Simulator()
+        rng = np.random.default_rng(0)
+        setup = build_single_hop_path(
+            sim, 10e6, 0.6, rng, prop_delay=0.01, buffer_bytes=12_000
+        )
+        report = run_pathload(
+            sim, setup.network, config=FAST, start=2.0, time_limit=1200.0
+        )
+        # high rates are unprobeable (they overflow the buffer), so the
+        # estimate cannot exceed them; the truth is 4 Mb/s
+        assert report.high_bps <= 10e6
+        assert report.low_bps <= 4e6 + 1e6
+
+    def test_aborted_fleets_lower_the_search(self):
+        """Fleets aborted on loss count as R > A and push rmax down."""
+        sim = Simulator()
+        rng = np.random.default_rng(1)
+        setup = build_single_hop_path(
+            sim, 10e6, 0.6, rng, prop_delay=0.01, buffer_bytes=8_000
+        )
+        report = run_pathload(
+            sim, setup.network, config=FAST, start=2.0, time_limit=1200.0
+        )
+        aborted = [
+            f for f in report.fleets if f.outcome is FleetOutcome.ABORTED_LOSS
+        ]
+        if aborted:  # with this buffer, the first high-rate fleets abort
+            first_aborted = aborted[0]
+            assert report.high_bps <= first_aborted.rate_bps
+
+    def test_stream_level_loss_recorded(self):
+        sim = Simulator()
+        rng = np.random.default_rng(2)
+        setup = build_single_hop_path(
+            sim, 10e6, 0.6, rng, prop_delay=0.01, buffer_bytes=8_000
+        )
+        report = run_pathload(
+            sim, setup.network, config=FAST, start=2.0, time_limit=1200.0
+        )
+        all_streams = [m for f in report.fleets for m in f.measurements]
+        assert any(m.loss_rate > 0 for m in all_streams)
+
+    def test_infinite_buffer_has_no_losses(self):
+        sim = Simulator()
+        rng = np.random.default_rng(3)
+        setup = build_single_hop_path(
+            sim, 10e6, 0.6, rng, prop_delay=0.01, buffer_bytes=None
+        )
+        report = run_pathload(
+            sim, setup.network, config=FAST, start=2.0, time_limit=1200.0
+        )
+        all_streams = [m for f in report.fleets for m in f.measurements]
+        assert all(m.loss_rate == 0 for m in all_streams)
+        assert setup.tight_link.stats.packets_dropped == 0

@@ -1,0 +1,138 @@
+"""Tests for the MRTG-style link monitors and queue monitor."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import (
+    LinkMonitor,
+    LinkSpec,
+    MRTGMonitor,
+    QueueMonitor,
+    Simulator,
+    attach_cross_traffic,
+    build_path,
+)
+from repro.netsim.packet import Packet
+
+
+class TestLinkMonitor:
+    def test_utilization_of_cbr_load(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(10e6)])
+        link = net.forward_links[0]
+        rng = np.random.default_rng(0)
+        attach_cross_traffic(sim, net, link, 6e6, rng, model="cbr", n_sources=2)
+        mon = LinkMonitor(sim, link, window=1.0)
+        sim.run(until=10.5)
+        utils = [s.utilization for s in mon.samples]
+        assert len(utils) == 10
+        assert np.mean(utils) == pytest.approx(0.6, rel=0.05)
+
+    def test_avail_bw_is_complement(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(10e6)])
+        link = net.forward_links[0]
+        rng = np.random.default_rng(1)
+        attach_cross_traffic(sim, net, link, 4e6, rng, model="cbr")
+        mon = LinkMonitor(sim, link, window=2.0)
+        sim.run(until=9.0)
+        for s in mon.samples:
+            assert s.avail_bw_bps == pytest.approx(10e6 * (1 - s.utilization))
+        assert mon.mean_avail_bw() == pytest.approx(6e6, rel=0.05)
+
+    def test_idle_link_full_avail_bw(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(10e6)])
+        mon = LinkMonitor(sim, net.forward_links[0], window=1.0)
+        sim.schedule(5.0, lambda: None)  # keep the sim alive
+        sim.run(until=5.0)
+        assert all(s.utilization == 0.0 for s in mon.samples)
+
+    def test_sample_covering(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(10e6)])
+        mon = LinkMonitor(sim, net.forward_links[0], window=1.0)
+        sim.schedule(3.5, lambda: None)
+        sim.run(until=3.5)
+        s = mon.sample_covering(1.5)
+        assert s is not None and s.t_start <= 1.5 < s.t_end
+        assert mon.sample_covering(99.0) is None
+
+    def test_windows_do_not_double_count(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(10e6)])
+        link = net.forward_links[0]
+        rng = np.random.default_rng(2)
+        attach_cross_traffic(sim, net, link, 5e6, rng, model="poisson")
+        mon = LinkMonitor(sim, link, window=0.5)
+        sim.run(until=10.25)
+        total_from_windows = sum(s.bytes_forwarded for s in mon.samples)
+        assert total_from_windows <= link.stats.bytes_forwarded
+
+    def test_no_samples_raises(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(10e6)])
+        mon = LinkMonitor(sim, net.forward_links[0], window=10.0)
+        with pytest.raises(ValueError):
+            mon.mean_avail_bw()
+
+    def test_bad_window_rejected(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(10e6)])
+        with pytest.raises(ValueError):
+            LinkMonitor(sim, net.forward_links[0], window=0.0)
+
+
+class TestMRTGMonitor:
+    def test_banded_reading_contains_sample(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(10e6)])
+        link = net.forward_links[0]
+        rng = np.random.default_rng(3)
+        attach_cross_traffic(sim, net, link, 6e6, rng, model="cbr")
+        mon = MRTGMonitor(sim, link, window=1.0, band_bps=1e6)
+        sim.run(until=5.5)
+        for s in mon.samples:
+            lo, hi = mon.reading_band(s)
+            assert lo <= s.avail_bw_bps < hi
+            assert hi - lo == pytest.approx(1e6)
+
+    def test_band_quantization(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(100e6)])
+        mon = MRTGMonitor(sim, net.forward_links[0], window=1.0, band_bps=6e6)
+        sim.schedule(1.5, lambda: None)
+        sim.run(until=1.5)
+        (lo, hi) = mon.reading_band(mon.samples[0])
+        # idle 100 Mb/s link: avail-bw 100 => band [96, 102)
+        assert lo == pytest.approx(96e6)
+        assert hi == pytest.approx(102e6)
+
+
+class TestQueueMonitor:
+    def test_tracks_backlog_growth(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(1e6, name="slow")])
+        link = net.forward_links[0]
+        mon = QueueMonitor(sim, link, interval=0.01)
+        # dump 20 kB instantly into a 1 Mb/s link: ~160 ms backlog
+        for _ in range(20):
+            net.inject_at(link, Packet(1000))
+        sim.run(until=0.05)
+        assert mon.max_backlog() > 10000
+        sim.run(until=0.5)
+
+    def test_empty_queue_samples_zero(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(1e9)])
+        mon = QueueMonitor(sim, net.forward_links[0], interval=0.1, stop=1.0)
+        sim.run(until=2.0)
+        assert mon.max_backlog() == 0
+        assert mon.mean_backlog() == 0.0
+
+    def test_stop_time(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(1e9)])
+        mon = QueueMonitor(sim, net.forward_links[0], interval=0.1, stop=0.55)
+        sim.run(until=2.0)
+        assert len(mon.samples) <= 7

@@ -1,0 +1,84 @@
+"""Tests for the chirp-train (pathChirp-style) extension estimator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pathchirp import (
+    chirp_estimate_from_owds,
+    chirp_rates,
+    run_pathchirp,
+)
+from repro.netsim import Simulator, build_single_hop_path
+
+
+class TestChirpRates:
+    def test_geometric_sweep(self):
+        rates = chirp_rates(1e6, 16e6, 10)
+        assert rates[0] == pytest.approx(1e6)
+        assert rates[-1] == pytest.approx(16e6)
+        ratios = rates[1:] / rates[:-1]
+        assert np.allclose(ratios, ratios[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chirp_rates(2e6, 1e6, 20)
+        with pytest.raises(ValueError):
+            chirp_rates(0.0, 1e6, 20)
+        with pytest.raises(ValueError):
+            chirp_rates(1e6, 2e6, 4)
+
+
+class TestExcursionDetection:
+    def test_clean_knee_located(self):
+        """Flat OWDs until rate crosses A, then rising: knee at A."""
+        rates = chirp_rates(1e6, 16e6, 40)
+        owds = np.zeros(40)
+        knee = np.searchsorted(rates, 4e6)
+        owds[knee + 1:] = np.cumsum(np.full(40 - knee - 1, 1e-4))
+        estimate = chirp_estimate_from_owds(owds, rates, smooth=1)
+        assert estimate == pytest.approx(4e6, rel=0.35)
+
+    def test_never_saturating_chirp_returns_max(self):
+        rates = chirp_rates(1e6, 16e6, 40)
+        owds = np.zeros(40)
+        assert chirp_estimate_from_owds(owds, rates, smooth=1) == rates[-1]
+
+    def test_transient_bump_skipped(self):
+        """A short mid-chirp bump (cross burst) must not become the knee."""
+        rates = chirp_rates(1e6, 16e6, 60)
+        owds = np.zeros(60)
+        owds[10:13] += 5e-4  # bump that decays
+        knee = np.searchsorted(rates, 8e6)
+        owds[knee + 1:] = np.cumsum(np.full(60 - knee - 1, 1e-4))
+        estimate = chirp_estimate_from_owds(owds, rates, smooth=1)
+        assert estimate > 4e6  # far above the bump's rate (~1.6 Mb/s)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            chirp_estimate_from_owds(np.zeros(10), chirp_rates(1e6, 2e6, 12))
+
+
+class TestEndToEnd:
+    def test_estimates_near_truth(self):
+        sim = Simulator()
+        rng = np.random.default_rng(0)
+        setup = build_single_hop_path(sim, 10e6, 0.6, rng, prop_delay=0.01)
+        result = run_pathchirp(sim, setup.network, start=2.0)
+        assert result.avail_bw_estimate_bps == pytest.approx(4e6, rel=0.5)
+        assert result.n_chirps == 8
+        assert result.bytes_sent == 8 * 120 * 1000
+
+    def test_idle_path_reports_sweep_top(self):
+        sim = Simulator()
+        rng = np.random.default_rng(1)
+        setup = build_single_hop_path(sim, 10e6, 0.0, rng, prop_delay=0.01)
+        result = run_pathchirp(sim, setup.network, start=0.5, n_chirps=3)
+        # nothing to saturate below capacity: estimate lands at/near the top
+        assert result.avail_bw_estimate_bps > 0.7 * 10e6
+
+    def test_validation(self):
+        sim = Simulator()
+        rng = np.random.default_rng(2)
+        setup = build_single_hop_path(sim, 10e6, 0.5, rng)
+        with pytest.raises(ValueError):
+            run_pathchirp(sim, setup.network, n_chirps=0)

@@ -1,0 +1,172 @@
+"""End-to-end tests of the pathload controller over the fluid model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FluidLink,
+    FluidPath,
+    PathloadConfig,
+    PathloadController,
+    Termination,
+    run_controller_fluid,
+)
+from repro.core.probing import Idle, SendStream, stream_spec_for_rate
+
+
+class TestStreamSpecSelection:
+    def test_normal_rate_uses_min_period(self):
+        spec = stream_spec_for_rate(48e6)
+        # L = R * Tmin / 8 = 600 B, within [200, 1500]
+        assert spec.packet_size == 600
+        assert spec.period == pytest.approx(100e-6)
+
+    def test_low_rate_stretches_period(self):
+        spec = stream_spec_for_rate(1e6)
+        assert spec.packet_size == 200
+        assert spec.period == pytest.approx(200 * 8 / 1e6)
+
+    def test_high_rate_stays_at_or_above_min_period(self):
+        spec = stream_spec_for_rate(119e6)
+        assert spec.packet_size <= 1500
+        assert spec.period >= 100e-6 - 1e-12
+
+    def test_max_rate_uses_mtu(self):
+        spec = stream_spec_for_rate(120e6)
+        assert spec.packet_size == 1500
+        assert spec.period == pytest.approx(100e-6)
+
+    def test_rate_beyond_maximum_rejected(self):
+        with pytest.raises(ValueError, match="maximum measurable"):
+            stream_spec_for_rate(121e6)
+
+    def test_round_trip_rate_preserved(self):
+        for rate in (0.5e6, 5e6, 50e6, 100e6):
+            spec = stream_spec_for_rate(rate)
+            assert spec.packet_size * 8 / spec.period == pytest.approx(rate)
+
+
+class TestConvergenceOnFluidPaths:
+    def test_brackets_constant_avail_bw(self):
+        path = FluidPath([FluidLink(10e6, 4e6)], prop_delay=0.02)
+        report = run_controller_fluid(PathloadController(rtt=0.04), path)
+        assert report.low_bps <= 4e6 <= report.high_bps
+        assert report.termination in (Termination.RESOLUTION, Termination.GREY_RESOLUTION)
+
+    def test_resolution_width_without_grey(self):
+        path = FluidPath([FluidLink(10e6, 4e6)], prop_delay=0.02)
+        cfg = PathloadConfig(resolution_bps=0.5e6)
+        report = run_controller_fluid(PathloadController(cfg, rtt=0.04), path)
+        if report.termination == Termination.RESOLUTION:
+            assert report.width_bps <= 0.5e6
+
+    @pytest.mark.parametrize("avail_mbps", [1.0, 4.0, 8.0, 25.0, 60.0, 95.0])
+    def test_brackets_across_magnitudes(self, avail_mbps):
+        avail = avail_mbps * 1e6
+        path = FluidPath([FluidLink(max(avail * 1.6, 10e6), avail)], prop_delay=0.02)
+        report = run_controller_fluid(PathloadController(rtt=0.04), path)
+        assert report.low_bps <= avail * (1 + 1e-9)
+        assert avail <= report.high_bps * (1 + 1e-9)
+
+    def test_multihop_path(self):
+        path = FluidPath(
+            [FluidLink(30e6, 12e6), FluidLink(10e6, 4e6), FluidLink(30e6, 12e6)],
+            prop_delay=0.05,
+        )
+        report = run_controller_fluid(PathloadController(rtt=0.1), path)
+        assert report.low_bps <= 4e6 <= report.high_bps
+
+    def test_explicit_initial_rate_skips_dispersion_probe(self):
+        path = FluidPath([FluidLink(10e6, 4e6)])
+        cfg = PathloadConfig(initial_rate_bps=6e6)
+        report = run_controller_fluid(PathloadController(cfg, rtt=0.02), path)
+        assert report.low_bps <= 4e6 <= report.high_bps
+        # first fleet probes the configured rate
+        assert report.fleets[0].rate_bps == pytest.approx(6e6)
+
+    def test_report_counts_streams(self):
+        path = FluidPath([FluidLink(10e6, 4e6)])
+        report = run_controller_fluid(PathloadController(rtt=0.02), path)
+        expected = sum(len(f.measurements) for f in report.fleets) + 1  # +initial
+        assert report.n_streams_sent == expected
+
+    def test_noise_tolerance_moderate(self):
+        """With modest OWD noise the range still brackets the truth."""
+        path = FluidPath([FluidLink(10e6, 4e6)], prop_delay=0.02)
+        rng = np.random.default_rng(5)
+        report = run_controller_fluid(
+            PathloadController(rtt=0.04), path, noise_rng=rng, noise_std=20e-6
+        )
+        assert report.low_bps <= 4e6 <= report.high_bps
+
+    def test_clock_offset_invariance(self):
+        """A constant clock offset must not change the report at all."""
+        path = FluidPath([FluidLink(10e6, 4e6)], prop_delay=0.02)
+        a = run_controller_fluid(PathloadController(rtt=0.04), path, clock_offset=0.0)
+        b = run_controller_fluid(PathloadController(rtt=0.04), path, clock_offset=42.0)
+        assert a.low_bps == pytest.approx(b.low_bps, rel=1e-9)
+        assert a.high_bps == pytest.approx(b.high_bps, rel=1e-9)
+
+
+class TestControllerProtocol:
+    def test_actions_are_streams_and_idles(self):
+        ctl = PathloadController(PathloadConfig(initial_rate_bps=5e6), rtt=0.02)
+        gen = ctl.run()
+        action = next(gen)
+        assert isinstance(action, SendStream)
+        path = FluidPath([FluidLink(10e6, 4e6)])
+        m = path.measure_stream(action.spec)
+        action = gen.send(m)
+        assert isinstance(action, Idle)
+        assert action.duration >= 0.02  # at least the RTT
+
+    def test_idle_respects_idle_factor(self):
+        cfg = PathloadConfig(initial_rate_bps=5e6, idle_factor=9.0)
+        ctl = PathloadController(cfg, rtt=0.001)
+        gen = ctl.run()
+        action = next(gen)
+        spec = action.spec
+        path = FluidPath([FluidLink(10e6, 4e6)])
+        idle = gen.send(path.measure_stream(spec))
+        assert idle.duration == pytest.approx(max(0.001, 9.0 * spec.duration))
+
+    def test_invalid_rtt_rejected(self):
+        with pytest.raises(ValueError):
+            PathloadController(rtt=0.0)
+
+
+class TestSaturatedPath:
+    def test_nearly_zero_avail_bw_reports_saturated_range(self):
+        path = FluidPath([FluidLink(10e6, 0.05e6)])
+        cfg = PathloadConfig(min_rate_bps=200e3)
+        report = run_controller_fluid(PathloadController(cfg, rtt=0.02), path)
+        # search collapses to the floor; reported range must cover the truth
+        assert report.low_bps <= 0.05e6
+        assert report.high_bps <= 2e6
+        assert report.termination in (
+            Termination.SATURATED,
+            Termination.RESOLUTION,
+            Termination.GREY_RESOLUTION,
+        )
+
+
+class TestPropertyBasedConvergence:
+    @given(
+        avail=st.floats(0.5e6, 100e6),
+        cap_factor=st.floats(1.05, 20.0),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fluid_convergence_brackets_truth(self, avail, cap_factor, seed):
+        capacity = min(avail * cap_factor, 1e9)
+        path = FluidPath([FluidLink(capacity, avail)], prop_delay=0.01)
+        rng = np.random.default_rng(seed)
+        report = run_controller_fluid(
+            PathloadController(rtt=0.02), path, noise_rng=rng, noise_std=5e-6
+        )
+        low, high = report.low_bps, report.high_bps
+        omega = PathloadConfig().resolution_bps
+        # allow one resolution step of slack around the truth
+        assert low - omega <= avail <= high + omega

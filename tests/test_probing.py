@@ -1,0 +1,103 @@
+"""Tests for the probing primitives (specs, measurements, actions)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.probing import (
+    Idle,
+    PacketRecord,
+    SendStream,
+    StreamMeasurement,
+    StreamSpec,
+    stream_spec_for_rate,
+)
+
+
+class TestStreamSpec:
+    def test_period_and_duration(self):
+        spec = StreamSpec(rate_bps=8e6, packet_size=1000, n_packets=100)
+        assert spec.period == pytest.approx(0.001)
+        assert spec.duration == pytest.approx(0.099)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate_bps": 0, "packet_size": 100, "n_packets": 10},
+            {"rate_bps": 1e6, "packet_size": 0, "n_packets": 10},
+            {"rate_bps": 1e6, "packet_size": 100, "n_packets": 1},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            StreamSpec(**kwargs)
+
+    @given(rate=st.floats(1e3, 119e6))
+    @settings(max_examples=100)
+    def test_spec_for_rate_invariants(self, rate):
+        """For any feasible rate: size within [min,mtu], period >= T_min,
+        and the rate is realized exactly."""
+        spec = stream_spec_for_rate(rate)
+        assert 200 <= spec.packet_size <= 1500
+        if spec.packet_size > 200:  # not pinned at the minimum size
+            assert spec.period >= 100e-6 - 1e-12
+        assert spec.packet_size * 8 / spec.period == pytest.approx(rate)
+
+
+class TestMeasurementEdgeCases:
+    def spec(self):
+        return StreamSpec(rate_bps=1e6, packet_size=200, n_packets=10)
+
+    def test_total_loss(self):
+        m = StreamMeasurement(spec=self.spec(), records=[], n_sent=10)
+        assert m.loss_rate == 1.0
+        assert m.n_received == 0
+        assert len(m.relative_owds()) == 0
+
+    def test_dispersion_needs_two_packets(self):
+        m = StreamMeasurement(
+            spec=self.spec(),
+            records=[PacketRecord(seq=0, sender_stamp=0.0, recv_stamp=0.1)],
+            n_sent=10,
+        )
+        with pytest.raises(ValueError, match="two received"):
+            m.dispersion_rate_bps()
+
+    def test_simultaneous_arrivals_rejected_in_dispersion(self):
+        records = [
+            PacketRecord(seq=0, sender_stamp=0.0, recv_stamp=0.1),
+            PacketRecord(seq=1, sender_stamp=0.01, recv_stamp=0.1),
+        ]
+        m = StreamMeasurement(spec=self.spec(), records=records, n_sent=2)
+        with pytest.raises(ValueError, match="span"):
+            m.dispersion_rate_bps()
+
+    def test_zero_sent_loss_rate(self):
+        m = StreamMeasurement(spec=self.spec(), records=[], n_sent=0)
+        assert m.loss_rate == 0.0
+
+    def test_single_record_sender_gaps_empty(self):
+        m = StreamMeasurement(
+            spec=self.spec(),
+            records=[PacketRecord(seq=0, sender_stamp=0.0, recv_stamp=0.1)],
+            n_sent=10,
+        )
+        assert len(m.sender_gaps()) == 0
+
+    def test_relative_owd_property(self):
+        r = PacketRecord(seq=3, sender_stamp=1.5, recv_stamp=1.62)
+        assert r.relative_owd == pytest.approx(0.12)
+
+
+class TestActions:
+    def test_idle_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Idle(-0.1)
+
+    def test_idle_zero_allowed(self):
+        assert Idle(0.0).duration == 0.0
+
+    def test_send_stream_carries_spec(self):
+        spec = StreamSpec(rate_bps=1e6, packet_size=200, n_packets=10)
+        assert SendStream(spec).spec is spec

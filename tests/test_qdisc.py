@@ -1,0 +1,120 @@
+"""Tests for the RED queue discipline."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import LinkSpec, Simulator, build_path
+from repro.netsim.qdisc import REDQueue
+from repro.transport.tcp import TCPConfig, open_connection
+
+
+class TestREDUnit:
+    def make(self, **kwargs):
+        defaults = dict(
+            min_th_bytes=10_000,
+            max_th_bytes=30_000,
+            rng=np.random.default_rng(0),
+            weight=0.5,  # fast-moving average for unit tests
+        )
+        defaults.update(kwargs)
+        return REDQueue(**defaults)
+
+    def test_no_drops_below_min_threshold(self):
+        red = self.make()
+        for _ in range(100):
+            assert not red.should_drop(5_000, 1500, 0.0, 1e6)
+        assert red.early_drops == 0
+
+    def test_forced_drops_above_max_threshold(self):
+        red = self.make()
+        # drive the average above max_th
+        for _ in range(20):
+            red.should_drop(50_000, 1500, 0.0, 1e6)
+        assert red.forced_drops > 0
+        assert red.should_drop(50_000, 1500, 0.0, 1e6) is True
+
+    def test_probabilistic_drops_in_linear_region(self):
+        red = self.make(max_p=0.5)
+        decisions = [red.should_drop(20_000, 1500, 0.0, 1e6) for _ in range(400)]
+        drop_rate = sum(decisions) / len(decisions)
+        assert 0.05 < drop_rate < 0.95  # some but not all
+
+    def test_average_decays_when_idle(self):
+        red = self.make()
+        for _ in range(10):
+            red.should_drop(25_000, 1500, 0.0, 1e6)
+        high_avg = red.avg
+        # queue empty for a long time at high capacity: average collapses
+        red.should_drop(0, 1500, 10.0, 1e9)
+        red.should_drop(0, 1500, 20.0, 1e9)
+        assert red.avg < high_avg / 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_th_bytes": 0, "max_th_bytes": 100},
+            {"min_th_bytes": 200, "max_th_bytes": 100},
+            {"max_p": 0.0},
+            {"max_p": 1.5},
+            {"weight": 0.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        defaults = dict(
+            min_th_bytes=10_000, max_th_bytes=30_000, rng=np.random.default_rng(0)
+        )
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            REDQueue(**defaults)
+
+
+class TestREDOnLink:
+    def build(self, qdisc):
+        sim = Simulator()
+        net = build_path(
+            sim,
+            [
+                LinkSpec(8e6, prop_delay=0.05, buffer_bytes=170_000, name="tight"),
+            ],
+        )
+        net.forward_links[0].qdisc = qdisc
+        return sim, net
+
+    def test_red_keeps_tcp_queue_shorter_than_droptail(self):
+        """The AQM property: early drops cap the standing queue."""
+
+        def max_backlog(qdisc):
+            sim, net = self.build(qdisc)
+            snd, rcv = open_connection(
+                sim, net, config=TCPConfig(min_rto=0.5), start=0.0
+            )
+            worst = 0
+            for t in np.arange(1.0, 40.0, 0.2):
+                sim.run(until=float(t))
+                worst = max(worst, net.forward_links[0].backlog_bytes())
+            snd.stop()
+            return worst
+
+        droptail = max_backlog(None)
+        red = max_backlog(
+            REDQueue(
+                min_th_bytes=15_000,
+                max_th_bytes=60_000,
+                rng=np.random.default_rng(1),
+            )
+        )
+        assert red < 0.7 * droptail
+
+    def test_red_drops_counted_in_link_stats(self):
+        qdisc = REDQueue(
+            min_th_bytes=5_000, max_th_bytes=20_000, rng=np.random.default_rng(2)
+        )
+        sim, net = self.build(qdisc)
+        snd, rcv = open_connection(sim, net, config=TCPConfig(min_rto=0.5), start=0.0)
+        sim.run(until=30.0)
+        snd.stop()
+        assert net.forward_links[0].stats.packets_dropped > 0
+        assert (
+            qdisc.early_drops + qdisc.forced_drops
+            == net.forward_links[0].stats.packets_dropped
+        )

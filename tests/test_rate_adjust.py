@@ -1,0 +1,203 @@
+"""Unit and property tests for the grey-region binary search."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fleet import FleetOutcome
+from repro.core.rate_adjust import RateAdjuster
+
+
+def make(rmax=100e6, omega=1e6, chi=1.5e6):
+    return RateAdjuster(rmax_bps=rmax, omega_bps=omega, chi_bps=chi)
+
+
+class TestBasicBisection:
+    def test_initial_probe_is_midpoint(self):
+        adj = make()
+        assert adj.next_rate() == pytest.approx(50e6)
+
+    def test_above_lowers_rmax(self):
+        adj = make()
+        adj.record(50e6, FleetOutcome.ABOVE)
+        assert adj.rmax == 50e6
+        assert adj.next_rate() == pytest.approx(25e6)
+
+    def test_below_raises_rmin(self):
+        adj = make()
+        adj.record(50e6, FleetOutcome.BELOW)
+        assert adj.rmin == 50e6
+        assert adj.next_rate() == pytest.approx(75e6)
+
+    def test_aborted_loss_treated_as_above(self):
+        adj = make()
+        adj.record(50e6, FleetOutcome.ABORTED_LOSS)
+        assert adj.rmax == 50e6
+
+    def test_converges_on_constant_avail_bw(self):
+        """Binary search around a fixed A converges within omega."""
+        truth = 37.3e6
+        adj = make()
+        for _ in range(60):
+            if adj.converged():
+                break
+            rate = adj.next_rate()
+            outcome = FleetOutcome.ABOVE if rate > truth else FleetOutcome.BELOW
+            adj.record(rate, outcome)
+        assert adj.converged()
+        low, high = adj.report_range()
+        assert low <= truth <= high
+        assert high - low <= adj.omega
+
+    def test_iteration_count_is_logarithmic(self):
+        """Paper Section III-B: convergence in ~log2(Rmax/omega) fleets."""
+        truth = 37.3e6
+        adj = make()
+        n = 0
+        while not adj.converged():
+            rate = adj.next_rate()
+            adj.record(
+                rate, FleetOutcome.ABOVE if rate > truth else FleetOutcome.BELOW
+            )
+            n += 1
+        assert n <= 8  # log2(100/1) ≈ 6.6
+
+
+class TestGreyRegion:
+    def test_first_grey_sets_both_bounds(self):
+        adj = make()
+        adj.record(50e6, FleetOutcome.GREY)
+        assert adj.gmin == adj.gmax == 50e6
+
+    def test_grey_expands_upward_and_downward(self):
+        adj = make()
+        adj.record(50e6, FleetOutcome.GREY)
+        adj.record(60e6, FleetOutcome.GREY)
+        adj.record(45e6, FleetOutcome.GREY)
+        assert adj.gmin == 45e6
+        assert adj.gmax == 60e6
+
+    def test_probes_gaps_around_grey(self):
+        adj = make()
+        adj.record(50e6, FleetOutcome.GREY)
+        rate = adj.next_rate()
+        # wider gap is above (50..100): probe (50+100)/2
+        assert rate == pytest.approx(75e6)
+        adj.record(75e6, FleetOutcome.ABOVE)
+        rate = adj.next_rate()
+        # now lower gap (0..50) is wider: probe 25
+        assert rate == pytest.approx(25e6)
+
+    def test_grey_termination_condition(self):
+        adj = make()
+        adj.record(50e6, FleetOutcome.GREY)
+        adj.record(51e6, FleetOutcome.ABOVE)
+        adj.record(49e6, FleetOutcome.BELOW)
+        assert adj.rmax - adj.gmax <= adj.chi
+        assert adj.gmin - adj.rmin <= adj.chi
+        assert adj.converged()
+
+    def test_grey_outside_bounds_is_clamped(self):
+        adj = make()
+        adj.record(40e6, FleetOutcome.ABOVE)  # rmax = 40
+        adj.record(60e6, FleetOutcome.GREY)  # grey wholly above rmax: stale
+        # a grey interval that contradicts the outer bounds is dropped
+        assert adj.gmin is None and adj.gmax is None
+        adj.record(30e6, FleetOutcome.GREY)
+        adj.record(50e6, FleetOutcome.GREY)  # upper edge clamps to rmax
+        assert adj.gmax <= adj.rmax
+        assert adj.gmin <= adj.gmax
+
+    def test_contradicted_grey_is_dropped(self):
+        adj = make()
+        adj.record(50e6, FleetOutcome.GREY)
+        # avail-bw drifted: everything below 60 now clearly above A
+        adj.record(45e6, FleetOutcome.ABOVE)
+        # grey interval [50,50] > rmax=45: contradicted, dropped
+        assert adj.gmin is None and adj.gmax is None
+
+    def test_report_overestimates_grey_by_at_most_two_chi(self):
+        """The Section VI guarantee on the reported range width."""
+        adj = make()
+        truth_lo, truth_hi = 30e6, 40e6  # the "true" grey band
+
+        def outcome(rate):
+            if rate > truth_hi:
+                return FleetOutcome.ABOVE
+            if rate < truth_lo:
+                return FleetOutcome.BELOW
+            return FleetOutcome.GREY
+
+        for _ in range(60):
+            if adj.converged():
+                break
+            rate = adj.next_rate()
+            adj.record(rate, outcome(rate))
+        assert adj.converged()
+        low, high = adj.report_range()
+        assert low <= truth_lo and high >= truth_hi
+        assert (high - low) <= (truth_hi - truth_lo) + 2 * adj.chi
+
+
+class TestValidation:
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            RateAdjuster(rmax_bps=1e6, omega_bps=1e6, chi_bps=1e6, rmin_bps=2e6)
+
+    def test_bad_resolutions(self):
+        with pytest.raises(ValueError):
+            RateAdjuster(rmax_bps=10e6, omega_bps=0, chi_bps=1e6)
+
+
+class TestPropertyBased:
+    @given(
+        truth=st.floats(1e6, 99e6),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_always_converges_and_brackets_constant_truth(self, truth, seed):
+        """For any constant avail-bw, the search terminates and brackets it."""
+        import random
+
+        rng = random.Random(seed)
+        adj = make()
+        for _ in range(100):
+            if adj.converged():
+                break
+            rate = adj.next_rate()
+            # 10% of fleets are grey (borderline), otherwise truthful
+            if abs(rate - truth) < 2e6 and rng.random() < 0.5:
+                outcome = FleetOutcome.GREY
+            else:
+                outcome = (
+                    FleetOutcome.ABOVE if rate > truth else FleetOutcome.BELOW
+                )
+            adj.record(rate, outcome)
+        assert adj.converged()
+        low, high = adj.report_range()
+        # the grey shortcut can stop within chi of the truth's neighbourhood
+        assert low <= truth + 2e6 + adj.chi
+        assert high >= truth - 2e6 - adj.chi
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_invariants_hold_under_arbitrary_outcomes(self, seed):
+        """rmin <= gmin <= gmax <= rmax after any update sequence."""
+        import random
+
+        rng = random.Random(seed)
+        adj = make()
+        outcomes = [
+            FleetOutcome.ABOVE,
+            FleetOutcome.BELOW,
+            FleetOutcome.GREY,
+            FleetOutcome.ABORTED_LOSS,
+        ]
+        for _ in range(40):
+            rate = rng.uniform(0, 100e6)
+            adj.record(rate, rng.choice(outcomes))
+            assert adj.rmin <= adj.rmax + 1e-9
+            if adj.gmin is not None:
+                assert adj.rmin - 1e-9 <= adj.gmin <= adj.gmax <= adj.rmax + 1e-9

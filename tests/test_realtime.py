@@ -1,0 +1,109 @@
+"""Tests for the real-UDP-socket transport (loopback only).
+
+These exercise the plumbing — pacing, arrival timestamping, the
+end-of-stream protocol, the full controller loop — with assertions that
+tolerate interpreter scheduling noise (the documented limitation of the
+real-socket driver).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import PathloadConfig
+from repro.core.probing import StreamSpec
+from repro.transport.realtime import (
+    UdpProbeReceiver,
+    UdpProbeSender,
+    measure_loopback,
+)
+
+
+@pytest.fixture
+def pair():
+    receiver = UdpProbeReceiver()
+    receiver.start()
+    sender = UdpProbeSender(receiver.address)
+    yield sender, receiver
+    sender.close()
+    receiver.stop()
+
+
+class TestStreamTransport:
+    def test_all_packets_delivered_and_ordered(self, pair):
+        sender, receiver = pair
+        spec = StreamSpec(rate_bps=20e6, packet_size=250, n_packets=80)
+        stream_id, n_sent, _t0 = sender.send_stream(spec)
+        m = receiver.measurement_for(spec, stream_id, timeout=1.0)
+        assert n_sent == 80
+        assert m.n_received == 80
+        assert [r.seq for r in m.records] == list(range(80))
+        assert m.loss_rate == 0.0
+
+    def test_pacing_holds_the_period(self, pair):
+        """The hybrid sleep/spin sender holds the mean gap near T."""
+        sender, receiver = pair
+        spec = StreamSpec(rate_bps=40e6, packet_size=500, n_packets=100)
+        stream_id, _n, _t0 = sender.send_stream(spec)
+        m = receiver.measurement_for(spec, stream_id, timeout=1.0)
+        gaps = m.sender_gaps()
+        assert gaps.mean() == pytest.approx(spec.period, rel=0.05)
+        # individual sends land within the gap-deviation tolerance mostly
+        deviant = np.mean(np.abs(gaps - spec.period) > 0.3 * spec.period)
+        assert deviant < 0.2
+
+    def test_owds_are_positive_and_bounded(self, pair):
+        sender, receiver = pair
+        spec = StreamSpec(rate_bps=10e6, packet_size=200, n_packets=50)
+        stream_id, _n, _t0 = sender.send_stream(spec)
+        m = receiver.measurement_for(spec, stream_id, timeout=1.0)
+        owds = m.relative_owds()
+        assert np.all(owds > 0)  # same clock: true one-way delays
+        assert owds.max() < 0.1  # loopback: well under 100 ms
+
+    def test_consecutive_streams_do_not_leak(self, pair):
+        """Stream-id routing: stragglers from one stream cannot poison the
+        next measurement (a real bug caught during development)."""
+        sender, receiver = pair
+        for _ in range(3):
+            spec = StreamSpec(rate_bps=20e6, packet_size=250, n_packets=30)
+            stream_id, _n, _t0 = sender.send_stream(spec)
+            m = receiver.measurement_for(spec, stream_id, timeout=1.0)
+            assert m.n_received == 30
+            assert m.n_sent == 30
+
+    def test_unknown_datagrams_ignored(self, pair):
+        sender, receiver = pair
+        # garbage and wrong-magic datagrams must be dropped silently
+        sender.sock.sendto(b"junk", receiver.address)
+        sender.sock.sendto(b"\x00" * 64, receiver.address)
+        spec = StreamSpec(rate_bps=20e6, packet_size=250, n_packets=20)
+        stream_id, _n, _t0 = sender.send_stream(spec)
+        m = receiver.measurement_for(spec, stream_id, timeout=1.0)
+        assert m.n_received == 20
+
+
+class TestLoopbackMeasurement:
+    def test_full_measurement_completes_quickly(self):
+        t0 = time.perf_counter()
+        report = measure_loopback(time_budget=20.0)
+        wall = time.perf_counter() - t0
+        assert wall < 20.0
+        assert report.fleets or report.termination in ("max-fleets", "max-rate-reached")
+
+    def test_loopback_reports_more_bandwidth_than_probeable(self):
+        """Loopback's capacity exceeds the max probing rate, so the lower
+        bound must climb toward it (the correct 'A >= max rate' verdict).
+
+        Wall-clock timestamps are at the mercy of host load, so the check
+        retries: one quiet attempt suffices.
+        """
+        config = PathloadConfig(n_streams=6, idle_factor=1.0, max_fleets=10)
+        best = 0.0
+        for _attempt in range(3):
+            report = measure_loopback(config=config)
+            best = max(best, report.low_bps)
+            if best > 0.4 * config.max_rate_bps:
+                break
+        assert best > 0.4 * config.max_rate_bps

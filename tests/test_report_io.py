@@ -1,0 +1,97 @@
+"""Tests for pathload report serialization."""
+
+import math
+
+import pytest
+
+from repro.core import FluidLink, FluidPath, PathloadController, run_controller_fluid
+from repro.core.report_io import (
+    dump_report,
+    load_report,
+    report_from_dict,
+    report_to_dict,
+)
+from repro.core.trend import StreamType
+
+
+@pytest.fixture(scope="module")
+def report():
+    path = FluidPath([FluidLink(10e6, 4e6)], prop_delay=0.02)
+    return run_controller_fluid(PathloadController(rtt=0.04), path)
+
+
+class TestRoundTrip:
+    def test_headline_fields_preserved(self, report):
+        restored = report_from_dict(report_to_dict(report))
+        assert restored.low_bps == report.low_bps
+        assert restored.high_bps == report.high_bps
+        assert restored.termination == report.termination
+        assert restored.n_streams_sent == report.n_streams_sent
+        assert restored.mid_bps == report.mid_bps
+
+    def test_fleet_structure_preserved(self, report):
+        restored = report_from_dict(report_to_dict(report))
+        assert len(restored.fleets) == len(report.fleets)
+        for a, b in zip(restored.fleets, report.fleets):
+            assert a.rate_bps == b.rate_bps
+            assert a.outcome is b.outcome
+            assert a.n_increasing == b.n_increasing
+            assert a.n_nonincreasing == b.n_nonincreasing
+
+    def test_measurements_not_serialized(self, report):
+        restored = report_from_dict(report_to_dict(report))
+        assert all(f.measurements == [] for f in restored.fleets)
+
+    def test_file_round_trip(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        dump_report(report, str(path))
+        restored = load_report(str(path))
+        assert restored.low_bps == report.low_bps
+        assert restored.high_bps == report.high_bps
+
+    def test_json_is_plain(self, report, tmp_path):
+        import json
+
+        path = tmp_path / "report.json"
+        dump_report(report, str(path))
+        data = json.loads(path.read_text())
+        assert data["schema_version"] == 1
+        assert isinstance(data["fleets"], list)
+
+    def test_nan_metrics_round_trip(self):
+        """UNUSABLE streams carry NaN metrics; JSON must survive them."""
+        from repro.core.fleet import FleetOutcome, FleetRecord
+        from repro.core.pathload import PathloadReport
+        from repro.core.trend import StreamClassification
+
+        report = PathloadReport(
+            low_bps=1e6,
+            high_bps=2e6,
+            grey_low_bps=None,
+            grey_high_bps=None,
+            termination="resolution",
+            fleets=[
+                FleetRecord(
+                    rate_bps=1.5e6,
+                    outcome=FleetOutcome.GREY,
+                    classifications=[
+                        StreamClassification(
+                            stream_type=StreamType.UNUSABLE,
+                            pct=float("nan"),
+                            pdt=float("nan"),
+                            n_groups=0,
+                        )
+                    ],
+                )
+            ],
+        )
+        restored = report_from_dict(report_to_dict(report))
+        c = restored.fleets[0].classifications[0]
+        assert c.stream_type is StreamType.UNUSABLE
+        assert math.isnan(c.pct) and math.isnan(c.pdt)
+
+    def test_unknown_schema_rejected(self, report):
+        data = report_to_dict(report)
+        data["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            report_from_dict(data)

@@ -1,0 +1,152 @@
+"""Robustness and conservation properties across the stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PathloadConfig
+from repro.netsim import (
+    LinkSpec,
+    Packet,
+    Simulator,
+    attach_cross_traffic,
+    build_path,
+    build_single_hop_path,
+)
+from repro.transport.ping import Pinger
+from repro.transport.probe import run_pathload
+
+FAST = PathloadConfig(idle_factor=1.0)
+
+
+class TestReversePathCongestion:
+    """One-way-delay methods must not care about the reverse path.
+
+    This is the structural advantage of SLoPS over RTT-based probing
+    (Section II's congestion-control comparisons measure round-trip
+    delays): queueing on the ACK/control path shifts feedback timing but
+    not the forward OWD trend.
+    """
+
+    def build(self, seed, reverse_utilization):
+        sim = Simulator()
+        rng = np.random.default_rng(seed)
+        net = build_path(
+            sim,
+            [LinkSpec(10e6, prop_delay=0.01, name="tight")],
+            reverse=[LinkSpec(10e6, prop_delay=0.01, name="rev")],
+        )
+        attach_cross_traffic(
+            sim, net, net.forward_links[0], 6e6, rng.spawn(1)[0]
+        )
+        if reverse_utilization > 0:
+            attach_cross_traffic(
+                sim,
+                net,
+                net.reverse_links[0],
+                10e6 * reverse_utilization,
+                rng.spawn(1)[0],
+            )
+        return sim, net
+
+    def test_forward_estimate_unchanged_by_reverse_load(self):
+        results = {}
+        for label, reverse_u in (("clean", 0.0), ("congested", 0.7)):
+            sim, net = self.build(seed=42, reverse_utilization=reverse_u)
+            report = run_pathload(
+                sim, net, config=FAST, start=2.0, time_limit=1200.0
+            )
+            results[label] = report
+        for label, report in results.items():
+            assert report.low_bps - 1e6 <= 4e6 <= report.high_bps + 1e6, label
+        # and the two estimates agree with each other to within chi
+        assert abs(results["clean"].mid_bps - results["congested"].mid_bps) < 2e6
+
+    def test_rtt_does_see_reverse_congestion(self):
+        """Sanity check of the contrast: ping (an RTT method) is affected."""
+
+        def p90_rtt(reverse_u, seed=7):
+            sim, net = self.build(seed=seed, reverse_utilization=reverse_u)
+            ping = Pinger(sim, net, interval=0.05, start=1.0, stop=11.0)
+            sim.run(until=12.0)
+            return float(np.percentile([r for _t, r in ping.rtts], 90))
+
+        assert p90_rtt(0.85) > p90_rtt(0.0) * 1.2
+
+
+class TestConservation:
+    @given(
+        n_packets=st.integers(1, 200),
+        buffer_kb=st.integers(1, 50),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bytes_forwarded_plus_dropped_equals_offered(
+        self, n_packets, buffer_kb, seed
+    ):
+        """Link conservation law under arbitrary burst sizes and buffers."""
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(5e6, buffer_bytes=buffer_kb * 1000)])
+        link = net.forward_links[0]
+        rng = np.random.default_rng(seed)
+        delivered = [0]
+        offered_bytes = 0
+        for i in range(n_packets):
+            size = int(rng.integers(40, 1500))
+            offered_bytes += size
+            net.send_forward(Packet(size, seq=i), lambda p: delivered.append(p.size))
+        sim.run()
+        stats = link.stats
+        assert stats.bytes_forwarded + stats.bytes_dropped == offered_bytes
+        assert sum(delivered) == stats.bytes_forwarded
+
+    def test_cross_traffic_conservation(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(10e6)])
+        rng = np.random.default_rng(0)
+        sources = attach_cross_traffic(
+            sim, net, net.forward_links[0], 5e6, rng, n_sources=5
+        )
+        sim.run(until=10.0)
+        generated = sum(s.bytes_sent for s in sources)
+        stats = net.forward_links[0].stats
+        assert stats.bytes_forwarded + stats.bytes_dropped == generated
+
+
+class TestDeterminism:
+    def test_identical_seeds_produce_identical_simulations(self):
+        """The whole stack is reproducible from one seed."""
+
+        def fingerprint(seed):
+            sim = Simulator()
+            rng = np.random.default_rng(seed)
+            setup = build_single_hop_path(sim, 10e6, 0.6, rng)
+            report = run_pathload(
+                sim, setup.network, config=FAST, start=2.0, time_limit=1200.0
+            )
+            return (
+                report.low_bps,
+                report.high_bps,
+                report.n_streams_sent,
+                tuple(f.outcome.value for f in report.fleets),
+                setup.tight_link.stats.bytes_forwarded,
+            )
+
+        assert fingerprint(123) == fingerprint(123)
+
+    def test_different_seeds_differ(self):
+        def low(seed):
+            sim = Simulator()
+            rng = np.random.default_rng(seed)
+            setup = build_single_hop_path(sim, 10e6, 0.6, rng)
+            return setup.tight_link.stats.bytes_forwarded if sim.run(until=5.0) else 0
+
+        sims = []
+        for seed in (1, 2):
+            sim = Simulator()
+            rng = np.random.default_rng(seed)
+            setup = build_single_hop_path(sim, 10e6, 0.6, rng)
+            sim.run(until=5.0)
+            sims.append(setup.tight_link.stats.bytes_forwarded)
+        assert sims[0] != sims[1]

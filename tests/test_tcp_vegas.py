@@ -1,0 +1,102 @@
+"""Tests for TCP Vegas (delay-based congestion control).
+
+The paper's Section II places SLoPS next to the delay-based congestion
+control family (Vegas, Jain's delay approach, Mitra & Seery): both infer
+congestion from rising delays.  Implementing Vegas lets the repo exhibit
+the family's signature behaviours against Reno on the same substrate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.netsim import LinkSpec, Simulator, build_path
+from repro.transport.tcp import TCPConfig, open_connection
+
+
+def bottleneck(sim, capacity=8e6, prop=0.04, buffer_bytes=100_000):
+    return build_path(
+        sim, [LinkSpec(capacity, prop_delay=prop, buffer_bytes=buffer_bytes)]
+    )
+
+
+def run_single(cc, seconds=40.0, **link_kwargs):
+    sim = Simulator()
+    net = bottleneck(sim, **link_kwargs)
+    snd, rcv = open_connection(
+        sim, net, config=TCPConfig(congestion_control=cc, min_rto=0.5), start=0.0
+    )
+    worst = 0
+    for t in np.arange(1.0, seconds, 0.2):
+        sim.run(until=float(t))
+        worst = max(worst, net.forward_links[0].backlog_bytes())
+    snd.stop()
+    return rcv.throughput_bps(seconds / 4, seconds), worst, snd
+
+
+class TestVegasAlone:
+    def test_high_utilization_without_losses(self):
+        throughput, _worst, sender = run_single("vegas")
+        assert throughput > 0.85 * 8e6
+        assert sender.retransmits == 0
+        assert sender.timeouts == 0
+
+    def test_keeps_queue_far_smaller_than_reno(self):
+        """The delay-based signature: back off before the buffer fills."""
+        _thr_v, queue_vegas, _s = run_single("vegas")
+        _thr_r, queue_reno, _s2 = run_single("reno")
+        assert queue_vegas < 0.3 * queue_reno
+
+    def test_base_rtt_learned(self):
+        sim = Simulator()
+        net = bottleneck(sim)
+        snd, _rcv = open_connection(
+            sim, net, config=TCPConfig(congestion_control="vegas", min_rto=0.5),
+            start=0.0,
+        )
+        sim.run(until=10.0)
+        snd.stop()
+        assert snd.base_rtt == pytest.approx(net.min_rtt(1500), rel=0.1)
+
+    def test_loss_recovery_inherited(self):
+        """Vegas still recovers from drops (tiny buffer forces some)."""
+        sim = Simulator()
+        net = bottleneck(sim, buffer_bytes=6_000)
+        snd, rcv = open_connection(
+            sim, net,
+            config=TCPConfig(congestion_control="vegas", min_rto=0.3),
+            total_bytes=400_000, start=0.0,
+        )
+        sim.run(until=60.0)
+        assert rcv.delivered_bytes == 400_000
+
+
+class TestCoexistence:
+    def test_reno_outcompetes_vegas(self):
+        """The classic result: a loss-based flow fills the queue Vegas is
+        trying to keep empty, so Vegas yields bandwidth."""
+        sim = Simulator()
+        net = bottleneck(sim, buffer_bytes=120_000)
+        reno_s, reno_r = open_connection(
+            sim, net, config=TCPConfig(congestion_control="reno", min_rto=0.5),
+            start=0.0,
+        )
+        vegas_s, vegas_r = open_connection(
+            sim, net, config=TCPConfig(congestion_control="vegas", min_rto=0.5),
+            start=0.0,
+        )
+        sim.run(until=90.0)
+        reno_s.stop()
+        vegas_s.stop()
+        reno_share = reno_r.throughput_bps(30, 90)
+        vegas_share = vegas_r.throughput_bps(30, 90)
+        assert reno_share > vegas_share
+
+
+class TestValidation:
+    def test_unknown_cc_rejected(self):
+        with pytest.raises(ValueError, match="congestion_control"):
+            TCPConfig(congestion_control="cubic")
+
+    def test_bad_vegas_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            TCPConfig(congestion_control="vegas", vegas_alpha=5.0, vegas_beta=2.0)

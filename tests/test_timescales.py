@@ -1,0 +1,95 @@
+"""Tests for the avail-bw timescale analysis (variance-time, Hurst)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timescales import (
+    aggregate_series,
+    avail_bw_process,
+    estimate_hurst,
+    variance_time_curve,
+)
+from repro.netsim import Simulator, build_single_hop_path
+
+
+class TestAggregation:
+    def test_block_means(self):
+        agg = aggregate_series([1.0, 3.0, 5.0, 7.0], 2)
+        assert list(agg) == [2.0, 6.0]
+
+    def test_remainder_dropped(self):
+        agg = aggregate_series([1.0, 3.0, 5.0], 2)
+        assert list(agg) == [2.0]
+
+    def test_factor_one_is_identity(self):
+        series = [1.0, 2.0, 3.0]
+        assert list(aggregate_series(series, 1)) == series
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            aggregate_series([1.0], 0)
+        with pytest.raises(ValueError):
+            aggregate_series([1.0], 5)
+
+
+class TestVarianceTime:
+    def test_variance_decreases_with_aggregation_for_iid(self):
+        rng = np.random.default_rng(0)
+        series = rng.normal(0, 1, 4096)
+        curve = variance_time_curve(series, base_tau=0.01)
+        variances = [v for _t, v in curve]
+        assert variances[0] > variances[-1]
+
+    def test_iid_hurst_near_half(self):
+        rng = np.random.default_rng(1)
+        series = rng.normal(0, 1, 8192)
+        curve = variance_time_curve(series, base_tau=0.01)
+        assert estimate_hurst(curve) == pytest.approx(0.5, abs=0.1)
+
+    def test_long_range_dependent_series_high_hurst(self):
+        """A random-walk-flavored series has H near 1."""
+        rng = np.random.default_rng(2)
+        walk = np.cumsum(rng.normal(0, 1, 4096))
+        curve = variance_time_curve(walk, base_tau=0.01)
+        assert estimate_hurst(curve) > 0.8
+
+    def test_hurst_needs_points(self):
+        with pytest.raises(ValueError):
+            estimate_hurst([(0.1, 1.0), (0.2, 0.5)])
+
+
+class TestAvailBwProcess:
+    def test_mean_matches_configured_avail_bw(self):
+        sim = Simulator()
+        rng = np.random.default_rng(3)
+        setup = build_single_hop_path(sim, 10e6, 0.6, rng)
+        series = avail_bw_process(
+            sim, setup.tight_link, duration=20.0, base_tau=0.1, start=1.0
+        )
+        assert len(series) == 200
+        assert series.mean() == pytest.approx(4e6, rel=0.1)
+
+    def test_pareto_traffic_burstier_than_poisson(self):
+        """The variance at short timescales is larger under heavy tails."""
+
+        def short_tau_var(model, seed):
+            sim = Simulator()
+            rng = np.random.default_rng(seed)
+            setup = build_single_hop_path(
+                sim, 10e6, 0.6, rng, traffic_model=model
+            )
+            series = avail_bw_process(
+                sim, setup.tight_link, duration=30.0, base_tau=0.05, start=1.0
+            )
+            return float(np.var(series))
+
+        assert short_tau_var("pareto", 4) > short_tau_var("cbr", 4)
+
+    def test_validation(self):
+        sim = Simulator()
+        rng = np.random.default_rng(5)
+        setup = build_single_hop_path(sim, 10e6, 0.5, rng)
+        with pytest.raises(ValueError):
+            avail_bw_process(sim, setup.tight_link, duration=1.0, base_tau=0.0)
+        with pytest.raises(ValueError):
+            avail_bw_process(sim, setup.tight_link, duration=0.05, base_tau=0.1)

@@ -1,0 +1,153 @@
+"""Tests for the path/topology builders and the PathNetwork forwarding."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import (
+    Fig4Config,
+    LinkSpec,
+    Packet,
+    Simulator,
+    build_fig4_path,
+    build_path,
+    build_single_hop_path,
+    build_two_link_path,
+)
+
+
+class TestPathNetwork:
+    def test_forward_traverses_all_links(self):
+        sim = Simulator()
+        net = build_path(
+            sim, [LinkSpec(10e6, prop_delay=0.01), LinkSpec(10e6, prop_delay=0.01)]
+        )
+        got = []
+        net.send_forward(Packet(1000), lambda p: got.append(sim.now))
+        sim.run()
+        # 2 x (0.8 ms serialization + 10 ms prop)
+        assert got[0] == pytest.approx(2 * (0.0008 + 0.01))
+
+    def test_reverse_path_default_is_single_link(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(10e6, prop_delay=0.02)])
+        assert len(net.reverse_links) == 1
+        assert net.reverse_links[0].prop_delay == pytest.approx(0.02)
+
+    def test_min_rtt_includes_serialization(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(10e6, prop_delay=0.01)])
+        rtt = net.min_rtt(probe_size=1250)
+        # fwd: 10 ms prop + 1 ms ser; rev (1 Gb/s): 10 ms prop + 10 us ser
+        assert rtt == pytest.approx(0.01 + 0.001 + 0.01 + 1250 * 8 / 1e9)
+
+    def test_capacity_is_narrow_link(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(10e6), LinkSpec(5e6), LinkSpec(20e6)])
+        assert net.capacity_bps == 5e6
+        assert net.narrow_link.capacity_bps == 5e6
+
+    def test_dropped_packet_never_reaches_handler(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(1e6, buffer_bytes=1000)])
+        got = []
+        net.send_forward(Packet(900), got.append)
+        net.send_forward(Packet(900), got.append)  # dropped
+        sim.run()
+        assert len(got) == 1
+
+    def test_empty_path_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            build_path(sim, [])
+
+
+class TestFig4Topology:
+    def test_default_parameters_match_paper(self):
+        cfg = Fig4Config()
+        assert cfg.hops == 5
+        assert cfg.tight_capacity_bps == 10e6
+        assert cfg.avail_bw_bps == pytest.approx(4e6)
+
+    def test_derived_nontight_capacity(self):
+        cfg = Fig4Config(
+            tight_capacity_bps=10e6,
+            tight_utilization=0.6,
+            tightness_factor=0.3,
+            nontight_utilization=0.2,
+        )
+        # A_t = 4, A_x = 13.33, C_x = 16.67 Mb/s
+        assert cfg.nontight_avail_bw_bps == pytest.approx(4e6 / 0.3)
+        assert cfg.nontight_capacity_bps == pytest.approx(4e6 / 0.3 / 0.8)
+
+    def test_tight_link_in_middle(self):
+        sim = Simulator()
+        setup = build_fig4_path(sim, Fig4Config(hops=5), np.random.default_rng(0))
+        assert setup.tight_link is setup.network.forward_links[2]
+        assert setup.tight_link.capacity_bps == 10e6
+
+    def test_beta_one_makes_all_links_tight(self):
+        cfg = Fig4Config(tightness_factor=1.0, nontight_utilization=0.2)
+        assert cfg.nontight_avail_bw_bps == pytest.approx(cfg.tight_avail_bw_bps)
+
+    def test_cross_traffic_loads_each_link(self):
+        sim = Simulator()
+        cfg = Fig4Config(hops=3, sources_per_link=5)
+        setup = build_fig4_path(sim, cfg, np.random.default_rng(1))
+        sim.run(until=10.0)
+        for i, link in enumerate(setup.network.forward_links):
+            util = link.stats.bytes_forwarded * 8 / 10.0 / link.capacity_bps
+            expected = (
+                cfg.tight_utilization if i == 1 else cfg.nontight_utilization
+            )
+            assert util == pytest.approx(expected, rel=0.25)
+
+    def test_propagation_split_evenly(self):
+        sim = Simulator()
+        setup = build_fig4_path(
+            sim, Fig4Config(hops=5, total_prop_delay=0.05), np.random.default_rng(2)
+        )
+        assert setup.network.one_way_prop_delay() == pytest.approx(0.05)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            Fig4Config(hops=0)
+        with pytest.raises(ValueError):
+            Fig4Config(tight_utilization=1.0)
+        with pytest.raises(ValueError):
+            Fig4Config(tightness_factor=0.0)
+        with pytest.raises(ValueError):
+            Fig4Config(tightness_factor=1.2)
+
+
+class TestOtherTopologies:
+    def test_single_hop_truth(self):
+        sim = Simulator()
+        setup = build_single_hop_path(sim, 10e6, 0.3, np.random.default_rng(0))
+        assert setup.avail_bw_bps == pytest.approx(7e6)
+        assert setup.capacity_bps == 10e6
+
+    def test_two_link_narrow_differs_from_tight(self):
+        sim = Simulator()
+        setup = build_two_link_path(
+            sim,
+            narrow_capacity_bps=100e6,
+            narrow_utilization=0.1,
+            tight_capacity_bps=155e6,
+            tight_utilization=0.6,
+            rng=np.random.default_rng(0),
+        )
+        assert setup.capacity_bps == 100e6  # narrow
+        assert setup.avail_bw_bps == pytest.approx(155e6 * 0.4)  # tight
+        assert setup.tight_link.capacity_bps == 155e6
+
+    def test_two_link_rejects_wrong_tightness(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="tight"):
+            build_two_link_path(
+                sim,
+                narrow_capacity_bps=10e6,
+                narrow_utilization=0.9,
+                tight_capacity_bps=155e6,
+                tight_utilization=0.0,
+                rng=np.random.default_rng(0),
+            )

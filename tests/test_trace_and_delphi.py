@@ -1,0 +1,133 @@
+"""Tests for the link tracer and the Delphi baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.delphi import run_delphi
+from repro.core.probing import StreamSpec
+from repro.netsim import LinkSpec, Simulator, build_path, build_single_hop_path, build_two_link_path
+from repro.netsim.trace import LinkTap, owd_series, write_csv
+from repro.transport.probe import ProbeChannel
+
+
+class TestLinkTap:
+    def run_stream(self, tap_prefix=""):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(10e6, prop_delay=0.01)])
+        tap = LinkTap(net.forward_links[0], flow_prefix=tap_prefix)
+        channel = ProbeChannel(sim, net)
+        spec = StreamSpec(rate_bps=2e6, packet_size=500, n_packets=20)
+        ev = channel.send_stream(spec)
+        measurement = sim.run_until(ev)
+        return tap, measurement
+
+    def test_captures_every_departure(self):
+        tap, measurement = self.run_stream()
+        exits = [r for r in tap.records if r.event == "exit"]
+        assert len(exits) == 20
+        assert [r.seq for r in exits] == list(range(20))
+
+    def test_prefix_filter(self):
+        tap, _m = self.run_stream(tap_prefix="no-such-flow")
+        assert tap.records == []
+
+    def test_delivery_not_disturbed(self):
+        _tap, measurement = self.run_stream()
+        assert measurement.n_received == 20
+
+    def test_drop_capture(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(1e6, buffer_bytes=2000)])
+        tap = LinkTap(net.forward_links[0])
+        channel = ProbeChannel(sim, net)
+        spec = StreamSpec(rate_bps=8e6, packet_size=1000, n_packets=20)
+        ev = channel.send_stream(spec)
+        sim.run_until(ev)
+        assert len(tap.drops()) > 0
+        assert all(r.event == "drop" for r in tap.drops())
+
+    def test_owd_series_extraction(self):
+        tap, _m = self.run_stream()
+        flow = tap.records[0].flow_id
+        series = owd_series(tap.records, flow)
+        assert len(series) == 20
+        # idle path: constant per-link delay
+        ages = [age for _seq, age in series]
+        assert max(ages) - min(ages) < 1e-9
+
+    def test_csv_export(self, tmp_path):
+        tap, _m = self.run_stream()
+        path = tmp_path / "trace.csv"
+        n = write_csv(tap.records, str(path))
+        assert n == 20
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("time,event,flow_id")
+        assert len(lines) == 21
+
+    def test_detach_restores_link(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(10e6)])
+        link = net.forward_links[0]
+        original = link.deliver
+        tap = LinkTap(link)
+        assert link.deliver is not original
+        tap.detach()
+        assert link.deliver is original
+
+    def test_unwired_link_rejected(self):
+        sim = Simulator()
+        from repro.netsim.link import Link
+
+        with pytest.raises(ValueError):
+            LinkTap(Link(sim, 1e6))
+
+
+class TestDelphi:
+    def test_single_queue_path_estimates_avail_bw(self):
+        """Delphi's model holds on a one-queue path: estimate ~ A."""
+        sim = Simulator()
+        rng = np.random.default_rng(5)
+        setup = build_single_hop_path(sim, 10e6, 0.6, rng, prop_delay=0.01)
+        result = run_delphi(sim, setup.network, start=2.0, n_pairs=60)
+        assert result.avail_bw_estimate_bps == pytest.approx(4e6, rel=0.5)
+
+    def test_multi_queue_path_biases_estimate(self):
+        """The paper's critique: with tight != narrow, Delphi attributes
+        narrow-link queueing to the tight link and the estimate degrades."""
+        def estimate(build):
+            sim = Simulator()
+            rng = np.random.default_rng(6)
+            setup = build(sim, rng)
+            result = run_delphi(
+                sim, setup.network, start=2.0, n_pairs=60,
+                assumed_capacity_bps=setup.tight_link.capacity_bps,
+            )
+            return result.avail_bw_estimate_bps, setup.avail_bw_bps
+
+        def single(sim, rng):
+            return build_single_hop_path(sim, 15.5e6, 0.6, rng, prop_delay=0.01)
+
+        def multi(sim, rng):
+            return build_two_link_path(
+                sim,
+                narrow_capacity_bps=10e6,
+                narrow_utilization=0.3,
+                tight_capacity_bps=15.5e6,
+                tight_utilization=0.6,
+                rng=rng,
+            )
+
+        est_single, truth_single = estimate(single)
+        est_multi, truth_multi = estimate(multi)
+        err_single = abs(est_single - truth_single) / truth_single
+        err_multi = abs(est_multi - truth_multi) / truth_multi
+        assert err_multi > err_single
+
+    def test_validation(self):
+        sim = Simulator()
+        rng = np.random.default_rng(7)
+        setup = build_single_hop_path(sim, 10e6, 0.5, rng)
+        with pytest.raises(ValueError):
+            run_delphi(sim, setup.network, n_pairs=0)
+        with pytest.raises(ValueError):
+            run_delphi(sim, setup.network, gap_factor=1.0)
