@@ -21,8 +21,6 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-import numpy as np
-
 from ..core.config import PathloadConfig
 from ..core.pathload import PathloadController
 from ..netsim.engine import Simulator
@@ -209,13 +207,17 @@ def compare_streamers(
     extra traffic aggregate raises it to ``surge_utilization``.  Returns
     ``(fixed_report, adaptive_report)`` from two identically seeded runs.
     """
+    from ..experiments.base import spawn_seeds
     from ..netsim.crosstraffic import attach_cross_traffic
 
     surge_start = 2.0 + (n_segments / 2) * 4.0
 
     def session(streamer_factory):
         sim = Simulator()
-        rng = np.random.default_rng(seed)
+        # Two statistically independent streams derived from the one master
+        # seed via SeedSequence.spawn — not ad-hoc `seed + k` arithmetic,
+        # which can collide across call sites.
+        rng, surge_rng = spawn_seeds(seed, 2)
         setup = build_single_hop_path(
             sim, capacity_bps, base_utilization, rng,
             prop_delay=0.02, buffer_bytes=buffer_bytes,
@@ -224,7 +226,7 @@ def compare_streamers(
         # the surge arrives mid-session and persists
         attach_cross_traffic(
             sim, setup.network, setup.tight_link, surge_rate,
-            np.random.default_rng(seed + 999),
+            surge_rng,
             start=surge_start,
         )
         streamer = streamer_factory(sim, setup.network)

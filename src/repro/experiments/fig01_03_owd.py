@@ -17,6 +17,8 @@ paper plots) plus the PCT/PDT verdicts.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from ..core.probing import StreamSpec
@@ -42,10 +44,18 @@ def measure_single_stream(
     avail_bw_bps: float = AVAIL_BW,
     n_packets: int = 100,
     warmup: float = 1.0,
+    sanitize: bool = False,
+    sim: Optional[Simulator] = None,
 ):
     """Send one K-packet stream through a loaded path; return the
-    measurement and its classification."""
-    sim = Simulator()
+    measurement and its classification.
+
+    Pass ``sanitize=True`` (or a pre-built ``Simulator(sanitize=True)`` via
+    ``sim``, to inspect its digest/diagnostics afterwards) to run under the
+    engine's sanitizer mode.
+    """
+    if sim is None:
+        sim = Simulator(sanitize=sanitize)
     rng = np.random.default_rng(seed)
     utilization = 1.0 - avail_bw_bps / capacity_bps
     setup = build_single_hop_path(
@@ -61,7 +71,7 @@ def measure_single_stream(
     return measurement, classification
 
 
-def run(seed: int = 2002, scale=None) -> FigureResult:
+def run(seed: int = 2002, scale=None, sanitize: bool = False) -> FigureResult:
     """Reproduce Figs. 1-3: one stream per rate, OWDs + trend verdicts."""
     result = FigureResult(
         figure_id="fig01-03",
@@ -84,7 +94,7 @@ def run(seed: int = 2002, scale=None) -> FigureResult:
     regimes = {96.0: "R>A", 37.0: "R<A", 82.0: "R~A"}
     for i, rate_mbps in enumerate(STREAM_RATES_MBPS):
         measurement, classification = measure_single_stream(
-            rate_mbps * 1e6, seed=seed + i
+            rate_mbps * 1e6, seed=seed + i, sanitize=sanitize
         )
         owds = measurement.relative_owds()
         result.add_row(

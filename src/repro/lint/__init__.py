@@ -1,0 +1,42 @@
+"""``repro.lint`` — determinism & unit-correctness static analysis.
+
+The whole reproduction rests on one substitution (see DESIGN.md): pathload's
+OWD trends are only faithful because :mod:`repro.netsim` runs on a *virtual*
+clock with seeded RNGs.  A stray ``time.time()`` call, an unseeded
+``np.random`` draw, or a bits-vs-megabits mix-up does not crash — it silently
+corrupts delay trends.  This package machine-checks those invariants so that
+future refactors and performance work cannot regress correctness undetected.
+
+Rules (each suppressible with ``# simlint: disable=SIM00x``):
+
+========  ===============================================================
+SIM001    no wall-clock calls outside the explicit allowlist
+SIM002    no unseeded randomness — RNGs must flow in as ``Generator`` args
+SIM003    no ``==``/``!=`` comparisons on virtual-time expressions
+SIM004    unit-suffix hygiene (``*_bps`` vs ``*_mbps``; magic literals)
+SIM005    no mutable default arguments
+SIM006    sim ``Process`` generator functions must actually ``yield``
+========  ===============================================================
+
+Run as ``python -m repro.lint src benchmarks examples`` or via the
+``repro-lint`` console script.  See ``docs/linting.md`` for the full rule
+catalogue, pragma syntax, and allowlist rationale.
+"""
+
+from __future__ import annotations
+
+from .registry import ALL_RULES, Rule, get_rules
+from .report import Finding, render_json, render_text
+from .runner import LintResult, lint_paths, lint_source
+
+__all__ = [
+    "ALL_RULES",
+    "Rule",
+    "get_rules",
+    "Finding",
+    "render_json",
+    "render_text",
+    "LintResult",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,97 @@
+"""Command-line interface: ``python -m repro.lint`` / ``repro-lint``.
+
+Exit status: 0 clean, 1 findings, 2 usage or parse errors — so CI can
+distinguish "the tree violates an invariant" from "the linter could not run".
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .registry import ALL_RULES, get_rules
+from .report import render_json, render_text
+from .runner import lint_paths
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Determinism & unit-correctness static analysis for the "
+            "repro simulator (rules SIM001-SIM006; see docs/linting.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "benchmarks", "examples"],
+        help="files or directories to lint (default: src benchmarks examples)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--disable",
+        metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--no-allowlist",
+        action="store_true",
+        help="ignore the built-in file allowlist (report everything)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  {rule.name}")
+            print(f"    {rule.summary}")
+        return 0
+
+    try:
+        rules = get_rules(
+            select=args.select.split(",") if args.select else None,
+            disable=args.disable.split(",") if args.disable else None,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))  # exits 2
+
+    allowlist = {} if args.no_allowlist else None
+    result = lint_paths(args.paths, rules=rules, allowlist=allowlist)
+
+    if args.format == "json":
+        print(render_json(result.findings, result.files_checked))
+    else:
+        print(render_text(result.findings, result.files_checked))
+    for error in result.parse_errors:
+        print(f"error: {error}", file=sys.stderr)
+
+    if result.parse_errors:
+        return 2
+    return 0 if not result.findings else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""Suppression pragmas and allowlist matching.
+
+Two suppression mechanisms, by design both *visible in the diff*:
+
+* an inline pragma on the offending line::
+
+      t0 = time.perf_counter()  # simlint: disable=SIM001 -- measuring wall cost
+
+  ``disable=`` takes a comma-separated rule list; a bare
+  ``# simlint: disable`` suppresses every rule on that line.  Everything
+  after ``--`` is a free-form justification (encouraged, not parsed).
+
+* the allowlist (:data:`repro.lint.registry.DEFAULT_ALLOWLIST`): whole files
+  where a rule is structurally expected, matched as posix-path suffixes.
+
+Pragmas are extracted with :mod:`tokenize` so strings containing
+``# simlint:`` text are never misread as suppressions.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from pathlib import PurePosixPath
+from typing import Mapping, Sequence
+
+__all__ = ["PragmaIndex", "extract_pragmas", "allowlisted"]
+
+_PRAGMA_RE = re.compile(
+    r"#\s*simlint\s*:\s*disable(?:\s*=\s*(?P<rules>[A-Za-z0-9_,\s]+?))?\s*(?:--|$)"
+)
+
+#: Sentinel meaning "all rules suppressed on this line".
+ALL_RULES_SENTINEL = "*"
+
+
+class PragmaIndex:
+    """Per-line suppression lookup for one source file."""
+
+    def __init__(self, by_line: Mapping[int, frozenset[str]]):
+        self._by_line = dict(by_line)
+
+    def suppresses(self, line: int, rule_id: str) -> bool:
+        """True if ``rule_id`` is pragma-disabled on ``line`` (1-based)."""
+        rules = self._by_line.get(line)
+        if rules is None:
+            return False
+        return ALL_RULES_SENTINEL in rules or rule_id in rules
+
+    def __len__(self) -> int:  # pragma: no cover - debugging aid
+        return len(self._by_line)
+
+
+def extract_pragmas(source: str) -> PragmaIndex:
+    """Scan ``source`` for ``# simlint: disable[=...]`` comments.
+
+    Tolerates files :mod:`tokenize` cannot process (the caller will already
+    have failed to parse them for the AST pass anyway).
+    """
+    by_line: dict[int, frozenset[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(tok.string)
+            if not match:
+                continue
+            spec = match.group("rules")
+            if spec is None:
+                rules = frozenset({ALL_RULES_SENTINEL})
+            else:
+                rules = frozenset(
+                    rule.strip().upper() for rule in spec.split(",") if rule.strip()
+                )
+            if rules:
+                by_line[tok.start[0]] = by_line.get(tok.start[0], frozenset()) | rules
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return PragmaIndex(by_line)
+
+
+def allowlisted(
+    path: str, rule_id: str, allowlist: Mapping[str, Sequence[str]]
+) -> bool:
+    """True if ``path`` ends with an allowlisted suffix for ``rule_id``."""
+    suffixes = allowlist.get(rule_id)
+    if not suffixes:
+        return False
+    posix = PurePosixPath(str(path).replace("\\", "/")).as_posix()
+    return any(posix.endswith(suffix) for suffix in suffixes)

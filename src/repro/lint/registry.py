@@ -1,0 +1,129 @@
+"""Rule registry: ids, metadata, and the default allowlist.
+
+Every rule is a named, documented, individually suppressible check.  The
+registry is the single source of truth consumed by the CLI (``--list-rules``,
+``--select``/``--disable``), the reporters, and the self-tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = ["Rule", "ALL_RULES", "RULES_BY_ID", "get_rules", "DEFAULT_ALLOWLIST"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One named simulator invariant enforced by the linter."""
+
+    id: str
+    name: str
+    summary: str
+    rationale: str = ""
+
+
+ALL_RULES: tuple[Rule, ...] = (
+    Rule(
+        id="SIM001",
+        name="wall-clock-call",
+        summary=(
+            "wall-clock call (time.time/monotonic/perf_counter, datetime.now) "
+            "outside the realtime allowlist"
+        ),
+        rationale=(
+            "All simulator timing is virtual; consulting the wall clock mixes "
+            "interpreter jitter into OWDs that SLoPS reads at ~10 us "
+            "resolution.  Only transport/realtime.py (real UDP sockets) may "
+            "legitimately read the wall clock."
+        ),
+    ),
+    Rule(
+        id="SIM002",
+        name="unseeded-randomness",
+        summary=(
+            "unseeded randomness (module-level np.random.*, bare random.*, or "
+            "np.random.default_rng() without a seed)"
+        ),
+        rationale=(
+            "Experiments must be replayable bit-for-bit from a master seed; "
+            "RNGs flow in as numpy Generator parameters derived via "
+            "SeedSequence.spawn (see experiments.base.spawn_seeds)."
+        ),
+    ),
+    Rule(
+        id="SIM003",
+        name="virtual-time-equality",
+        summary="==/!= comparison on a virtual-time expression",
+        rationale=(
+            "Virtual timestamps are floats accumulated through arithmetic; "
+            "exact equality is representation-dependent and breaks under "
+            "refactors that change evaluation order.  Compare with <=/>= or a "
+            "tolerance."
+        ),
+    ),
+    Rule(
+        id="SIM004",
+        name="unit-suffix-hygiene",
+        summary=(
+            "bandwidth unit mismatch (*_bps value fed to a *_mbps parameter "
+            "or vice versa; suspicious magic bandwidth literal)"
+        ),
+        rationale=(
+            "A bits-vs-megabits mix-up is a silent factor-1e6 error in rate "
+            "logic — exactly the class of bug that corrupts PCT/PDT verdicts "
+            "without crashing."
+        ),
+    ),
+    Rule(
+        id="SIM005",
+        name="mutable-default-argument",
+        summary="mutable default argument (list/dict/set literal or call)",
+        rationale=(
+            "Mutable defaults are shared across calls, so state leaks between "
+            "nominally independent simulation runs."
+        ),
+    ),
+    Rule(
+        id="SIM006",
+        name="never-yielding-process",
+        summary="generator passed to sim.process() never yields",
+        rationale=(
+            "A process body with no yield runs to completion inside a single "
+            "simulator step (actually: fails to be a generator at all), which "
+            "silently serializes what should be concurrent activity."
+        ),
+    ),
+)
+
+RULES_BY_ID: dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}
+
+#: Paths (matched as posix-path suffixes) where a rule is expected and
+#: allowed.  ``transport/realtime.py`` is the *only* legitimate wall-clock
+#: user: it drives the sans-IO pathload controller over real UDP sockets, so
+#: wall time is the quantity being measured there, not a contaminant.
+DEFAULT_ALLOWLIST: dict[str, tuple[str, ...]] = {
+    "SIM001": ("repro/transport/realtime.py",),
+}
+
+
+def get_rules(
+    select: Optional[Iterable[str]] = None,
+    disable: Optional[Iterable[str]] = None,
+) -> list[Rule]:
+    """Resolve the active rule set from ``--select``/``--disable`` ids.
+
+    Unknown ids raise ``ValueError`` so typos fail loudly.
+    """
+
+    def check(ids: Iterable[str]) -> set[str]:
+        wanted = {rule_id.strip().upper() for rule_id in ids if rule_id.strip()}
+        unknown = wanted - RULES_BY_ID.keys()
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {sorted(unknown)}")
+        return wanted
+
+    active = check(select) if select else set(RULES_BY_ID)
+    if disable:
+        active -= check(disable)
+    return [rule for rule in ALL_RULES if rule.id in active]

@@ -1,0 +1,46 @@
+"""Findings and the text / JSON reporters."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable
+
+__all__ = ["Finding", "render_text", "render_json"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def location(self) -> str:
+        """``path:line:col`` (col 1-based, editor convention)."""
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+
+def render_text(findings: Iterable[Finding], files_checked: int = 0) -> str:
+    """Compiler-style one-line-per-finding report with a summary footer."""
+    findings = list(findings)
+    lines = [f"{f.location()}: {f.rule_id} {f.message}" for f in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(
+        f"simlint: {len(findings)} {noun} in {files_checked} file(s) checked"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Iterable[Finding], files_checked: int = 0) -> str:
+    """Machine-readable report (stable key order, one top-level object)."""
+    findings = list(findings)
+    payload = {
+        "files_checked": files_checked,
+        "finding_count": len(findings),
+        "findings": [asdict(f) for f in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

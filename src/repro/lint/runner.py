@@ -1,0 +1,116 @@
+"""File discovery and the lint driver: parse → check → suppress."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping, Optional, Sequence
+
+from .pragmas import allowlisted, extract_pragmas
+from .registry import DEFAULT_ALLOWLIST, Rule, get_rules
+from .report import Finding
+from .rules import ModuleContext, run_checkers
+
+import ast
+
+__all__ = ["LintResult", "lint_source", "lint_paths", "iter_python_files"]
+
+#: Directories never descended into (build artifacts, caches, VCS metadata).
+_SKIP_DIRS = {
+    "__pycache__", ".git", ".pytest_cache", "build", "dist", ".eggs",
+}
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the tree is clean (no findings, everything parsed)."""
+        return not self.findings and not self.parse_errors
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: Optional[Sequence[Rule]] = None,
+    allowlist: Optional[Mapping[str, Sequence[str]]] = None,
+) -> list[Finding]:
+    """Lint one source string; returns surviving (non-suppressed) findings.
+
+    Raises ``SyntaxError`` if the source does not parse — callers decide
+    whether that is fatal (the CLI reports it as its own failure).
+    """
+    if rules is None:
+        rules = get_rules()
+    if allowlist is None:
+        allowlist = DEFAULT_ALLOWLIST
+    active = [
+        rule.id for rule in rules if not allowlisted(path, rule.id, allowlist)
+    ]
+    if not active:
+        return []
+    tree = ast.parse(source, filename=path)
+    ctx = ModuleContext.build(path, tree)
+    findings = run_checkers(ctx, active)
+    if not findings:
+        return []
+    pragmas = extract_pragmas(source)
+    return [f for f in findings if not pragmas.suppresses(f.line, f.rule_id)]
+
+
+def iter_python_files(
+    paths: Iterable[str | Path], missing: Optional[list[str]] = None
+) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Entries that exist but are neither a ``.py`` file nor a directory are
+    ignored; entries that do not exist at all are appended to ``missing``
+    (a typo'd path must not silently lint zero files and pass CI).
+    """
+    out: set[Path] = set()
+    for entry in paths:
+        p = Path(entry)
+        if p.is_file() and p.suffix == ".py":
+            out.add(p)
+        elif p.is_dir():
+            for sub in p.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in sub.parts):
+                    out.add(sub)
+        elif not p.exists() and missing is not None:
+            missing.append(str(p))
+    return sorted(out)
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    rules: Optional[Sequence[Rule]] = None,
+    allowlist: Optional[Mapping[str, Sequence[str]]] = None,
+) -> LintResult:
+    """Lint every ``.py`` file under ``paths``."""
+    result = LintResult()
+    missing: list[str] = []
+    files = iter_python_files(paths, missing=missing)
+    result.parse_errors.extend(f"{m}: path does not exist" for m in missing)
+    for path in files:
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            result.parse_errors.append(f"{path}: unreadable: {exc}")
+            continue
+        result.files_checked += 1
+        try:
+            result.findings.extend(
+                lint_source(source, str(path), rules=rules, allowlist=allowlist)
+            )
+        except SyntaxError as exc:
+            result.parse_errors.append(
+                f"{path}:{exc.lineno or 0}: syntax error: {exc.msg}"
+            )
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return result

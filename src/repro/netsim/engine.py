@@ -25,11 +25,21 @@ clock.  This is the key substitution that makes a pure-Python reproduction of
 a delay-trend-sensitive tool like pathload viable (see DESIGN.md): one-way
 delay differences of tens of microseconds are exact numbers here, not
 measurements subject to interpreter jitter.
+
+``Simulator(sanitize=True)`` enables the runtime sanitizer: non-finite
+delays are rejected with diagnostics naming the callback, same-timestamp
+pop order is verified FIFO-stable (violations land in ``diagnostics``), and
+an event-order digest is recorded so two equal-seed runs can be asserted
+identical via :meth:`Simulator.digest`.  The static counterpart of these
+checks is ``python -m repro.lint`` (docs/linting.md).
 """
 
 from __future__ import annotations
 
+import hashlib
 import heapq
+import math
+import struct
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -218,13 +228,33 @@ class Simulator:
         assert proc.done_event.value == "payload"
     """
 
-    __slots__ = ("_queue", "_seq", "_now", "_running")
+    __slots__ = (
+        "_queue",
+        "_seq",
+        "_now",
+        "_running",
+        "_sanitize",
+        "_hasher",
+        "_events_digested",
+        "_last_pop",
+        "diagnostics",
+    )
 
-    def __init__(self) -> None:
+    def __init__(self, sanitize: bool = False) -> None:
         self._queue: list[tuple[float, int, ScheduledCall]] = []
         self._seq = 0
         self._now = 0.0
         self._running = False
+        # Sanitizer mode: extra invariant checks and an event-order digest.
+        # Off by default — the checks sit on the per-event hot path.
+        self._sanitize = sanitize
+        self._hasher = hashlib.blake2b(digest_size=16) if sanitize else None
+        self._events_digested = 0
+        self._last_pop: tuple[float, int] = (-math.inf, -1)
+        #: Sanitizer findings that are suspicious but not fatal (currently
+        #: only heap-order violations).  Always an empty list when
+        #: ``sanitize=False``.
+        self.diagnostics: list[str] = []
 
     # ------------------------------------------------------------------
     # Clock
@@ -233,6 +263,58 @@ class Simulator:
     def now(self) -> float:
         """Current simulated time, in seconds."""
         return self._now
+
+    @property
+    def sanitizing(self) -> bool:
+        """True when the simulator was created with ``sanitize=True``."""
+        return self._sanitize
+
+    def digest(self) -> str:
+        """Hex digest of the executed event order (sanitize mode only).
+
+        The digest folds in, for every executed callback, its timestamp,
+        its insertion sequence number, and the callable's qualified name.
+        Two runs of the same experiment with the same seeds must produce
+        identical digests; a mismatch means hidden nondeterminism (wall
+        clock, unseeded RNG, iteration-order dependence) crept in.
+        """
+        if self._hasher is None:
+            raise SimulationError(
+                "digest() requires Simulator(sanitize=True): the event-order "
+                "digest is only recorded in sanitizer mode"
+            )
+        return self._hasher.hexdigest()
+
+    @staticmethod
+    def _describe(fn: Callable[..., Any]) -> str:
+        """Stable, address-free name of a callback for diagnostics/digests."""
+        name = getattr(fn, "__qualname__", None)
+        if name is None:
+            # functools.partial and other wrappers: fall back to the wrapped
+            # callable, then to the type name (never repr — it embeds ids).
+            inner = getattr(fn, "func", None)
+            name = getattr(inner, "__qualname__", None) or type(fn).__qualname__
+        return name
+
+    def _observe_pop(self, time: float, seq: int, call: ScheduledCall) -> None:
+        """Sanitizer bookkeeping for one executed event (pop order + digest)."""
+        last_time, last_seq = self._last_pop
+        if time < last_time:
+            self.diagnostics.append(
+                f"event order violation: popped t={time!r} after t={last_time!r} "
+                f"(callback {self._describe(call.fn)})"
+            )
+        # Exact equality is intended here: heap keys are compared as bit
+        # patterns to detect *ties*, not arithmetic near-coincidence.
+        elif time == last_time and seq <= last_seq:  # simlint: disable=SIM003 -- exact tie detection on heap keys
+            self.diagnostics.append(
+                f"tie at t={time!r} popped out of FIFO order: seq {seq} after "
+                f"{last_seq} (callback {self._describe(call.fn)})"
+            )
+        self._last_pop = (time, seq)
+        self._hasher.update(struct.pack("<dq", time, seq))
+        self._hasher.update(self._describe(call.fn).encode())
+        self._events_digested += 1
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -244,14 +326,30 @@ class Simulator:
         Returns a :class:`ScheduledCall` handle that can be cancelled.
         """
         if delay < 0:
-            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+            raise SimulationError(
+                f"cannot schedule in the past: delay={delay!r} for callback "
+                f"{self._describe(fn)} at t={self._now!r}"
+            )
+        if self._sanitize and not math.isfinite(delay):
+            raise SimulationError(
+                f"non-finite delay {delay!r} for callback {self._describe(fn)} "
+                f"at t={self._now!r} — NaN/inf delays corrupt heap ordering "
+                "silently"
+            )
         return self.schedule_at(self._now + delay, fn, *args)
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> ScheduledCall:
         """Run ``fn(*args)`` at absolute simulated time ``time``."""
         if time < self._now:
             raise SimulationError(
-                f"cannot schedule at t={time} (now={self._now}): time is in the past"
+                f"cannot schedule at t={time!r} (now={self._now!r}): time is "
+                f"in the past for callback {self._describe(fn)}"
+            )
+        if self._sanitize and not math.isfinite(time):
+            raise SimulationError(
+                f"non-finite schedule time {time!r} for callback "
+                f"{self._describe(fn)} at t={self._now!r} — NaN/inf times "
+                "corrupt heap ordering silently"
             )
         call = ScheduledCall(time, fn, args)
         self._seq += 1
@@ -327,12 +425,14 @@ class Simulator:
         queue = self._queue
         try:
             while queue:
-                time, _seq, call = queue[0]
+                time, seq, call = queue[0]
                 if until is not None and time > until:
                     break
                 heapq.heappop(queue)
                 if call.cancelled:
                     continue
+                if self._sanitize:
+                    self._observe_pop(time, seq, call)
                 self._now = time
                 call.fn(*call.args)
             if until is not None and self._now < until:
@@ -357,13 +457,15 @@ class Simulator:
                     raise SimulationError(
                         "event queue drained before awaited event triggered"
                     )
-                time, _seq, call = heapq.heappop(queue)
+                time, seq, call = heapq.heappop(queue)
                 if call.cancelled:
                     continue
                 if limit is not None and time > limit:
                     raise SimulationError(
                         f"time limit {limit}s reached before awaited event triggered"
                     )
+                if self._sanitize:
+                    self._observe_pop(time, seq, call)
                 self._now = time
                 call.fn(*call.args)
         finally:

@@ -1,0 +1,15 @@
+"""Known-bad fixture: wall-clock calls (SIM001 at lines 9, 13, 14)."""
+
+import time
+from datetime import datetime
+from time import perf_counter as pc
+
+
+def stamp():
+    return time.time()
+
+
+def more():
+    a = pc()
+    b = datetime.now()
+    return a, b

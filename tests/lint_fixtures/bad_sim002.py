@@ -1,0 +1,15 @@
+"""Known-bad fixture: unseeded randomness (SIM002 at lines 10, 11, 12, 13)."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def draw():
+    g = default_rng()
+    x = np.random.uniform(0.0, 1.0)
+    y = np.random.default_rng()
+    z = random.random()
+    ok = np.random.default_rng(42)  # seeded: not a finding
+    return g, x, y, z, ok

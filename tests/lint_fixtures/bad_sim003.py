@@ -1,0 +1,16 @@
+"""Known-bad fixture: virtual-time equality (SIM003 at lines 5, 11, 16)."""
+
+
+def check(sim, t0, pkt):
+    if sim.now == t0:
+        return True
+    return False
+
+
+def deadline_check(deadline, now):
+    return deadline != now
+
+
+def arrival(pkt, stamp):
+    # attribute chains with a *_at terminal name also count
+    return pkt.sent_at == stamp

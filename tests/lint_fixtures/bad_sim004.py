@@ -1,0 +1,17 @@
+"""Known-bad fixture: unit-suffix hygiene (SIM004 at lines 6, 9, 10, 11, 12)."""
+
+
+def configure(run, rate_bps, capacity_mbps):
+    # direct cross-unit binding
+    rate_mbps = rate_bps
+    # cross-unit keyword arguments, both directions
+    run(
+        target_mbps=rate_bps,
+        capacity_bps=capacity_mbps,
+        link_mbps=155e6,
+        floor_bps=10,
+    )
+    # arithmetic on the right-hand side is treated as the conversion itself
+    ok_mbps = rate_bps / 1e6
+    run(capacity_bps=155e6, window_mbps=96.0)
+    return rate_mbps, ok_mbps

@@ -1,0 +1,13 @@
+"""Known-bad fixture: mutable default arguments (SIM005 at lines 4, 8)."""
+
+
+def collect(values=[]):
+    return values
+
+
+def tally(counts={}, *, label=None):
+    return counts, label
+
+
+def fine(values=None, window=(1, 2)):
+    return values, window

@@ -1,0 +1,17 @@
+"""Known-bad fixture: never-yielding process body (SIM006 at line 15)."""
+
+
+def runs_instantly(sim):
+    sim.schedule(1.0, print, "not a generator")
+    return 42
+
+
+def proper_body(sim):
+    yield 1.0
+    return "done"
+
+
+def driver(sim):
+    bad = sim.process(runs_instantly(sim))
+    good = sim.process(proper_body(sim))
+    return bad, good

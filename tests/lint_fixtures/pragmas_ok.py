@@ -1,0 +1,12 @@
+"""Fixture: every violation is pragma-suppressed — linter must report none."""
+
+import time
+
+import numpy as np
+
+
+def justified():
+    t0 = time.time()  # simlint: disable=SIM001 -- fixture exercising pragmas
+    rng = np.random.default_rng()  # simlint: disable=SIM002 -- fixture
+    bad_default = lambda xs=[]: xs  # simlint: disable -- bare pragma: all rules
+    return t0, rng, bad_default

@@ -1,0 +1,169 @@
+"""Self-tests for the ``repro.lint`` static analyzer.
+
+The fixture files in ``tests/lint_fixtures/`` are known-bad snippets; each
+test asserts the expected rule fires at exactly the expected lines and
+nowhere else.  The mutation tests then assert the two acceptance properties
+from the rule catalogue: a wall-clock call inserted into ``netsim/link.py``
+and an unseeded ``default_rng()`` inserted into ``core/probing.py`` are
+both caught, and the shipped tree itself lints clean.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths, lint_source
+from repro.lint.cli import main as lint_main
+from repro.lint.registry import ALL_RULES, DEFAULT_ALLOWLIST, get_rules
+
+pytestmark = pytest.mark.lint
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def fire_lines(filename: str, rule_id: str) -> list[int]:
+    """Lines at which ``rule_id`` fires in one fixture file (sorted)."""
+    path = FIXTURES / filename
+    findings = lint_source(path.read_text(), str(path))
+    assert all(f.rule_id == rule_id for f in findings), (
+        f"unexpected extra rules in {filename}: "
+        f"{sorted({f.rule_id for f in findings})}"
+    )
+    return sorted(f.line for f in findings)
+
+
+class TestRulesOnFixtures:
+    def test_sim001_wall_clock(self):
+        assert fire_lines("bad_sim001.py", "SIM001") == [9, 13, 14]
+
+    def test_sim002_unseeded_randomness(self):
+        assert fire_lines("bad_sim002.py", "SIM002") == [10, 11, 12, 13]
+
+    def test_sim003_virtual_time_equality(self):
+        assert fire_lines("bad_sim003.py", "SIM003") == [5, 11, 16]
+
+    def test_sim004_unit_suffixes(self):
+        assert fire_lines("bad_sim004.py", "SIM004") == [6, 9, 10, 11, 12]
+
+    def test_sim005_mutable_defaults(self):
+        assert fire_lines("bad_sim005.py", "SIM005") == [4, 8]
+
+    def test_sim006_never_yielding_process(self):
+        assert fire_lines("bad_sim006.py", "SIM006") == [15]
+
+    def test_pragmas_suppress_everything(self):
+        path = FIXTURES / "pragmas_ok.py"
+        assert lint_source(path.read_text(), str(path)) == []
+
+    def test_clean_fixture_is_clean(self):
+        path = FIXTURES / "clean.py"
+        assert lint_source(path.read_text(), str(path)) == []
+
+
+class TestSuppression:
+    def test_pragma_only_suppresses_named_rule(self):
+        source = (
+            "import time\n"
+            "t = time.time()  # simlint: disable=SIM002 -- wrong rule id\n"
+        )
+        findings = lint_source(source, "x.py")
+        assert [f.rule_id for f in findings] == ["SIM001"]
+
+    def test_allowlist_matches_path_suffix(self):
+        source = "import time\nt = time.time()\n"
+        hit = lint_source(source, "src/repro/netsim/link.py")
+        assert [f.rule_id for f in hit] == ["SIM001"]
+        allowed = lint_source(source, "src/repro/transport/realtime.py")
+        assert allowed == []
+
+    def test_rule_selection(self):
+        source = "import time\n\ndef f(xs=[]):\n    return time.time()\n"
+        only_5 = lint_source(source, "x.py", rules=get_rules(select=["SIM005"]))
+        assert [f.rule_id for f in only_5] == ["SIM005"]
+        without_1 = lint_source(source, "x.py", rules=get_rules(disable=["SIM001"]))
+        assert [f.rule_id for f in without_1] == ["SIM005"]
+
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(ValueError, match="SIM999"):
+            get_rules(select=["SIM999"])
+
+
+class TestMutationAcceptance:
+    """Deliberately corrupt real source files (in memory) — must be caught."""
+
+    def test_wall_clock_in_link_py_is_caught(self):
+        path = REPO_ROOT / "src" / "repro" / "netsim" / "link.py"
+        source = path.read_text() + (
+            "\nimport time\n\n\ndef _bad_stamp():\n    return time.time()\n"
+        )
+        findings = lint_source(source, str(path))
+        assert any(f.rule_id == "SIM001" for f in findings)
+
+    def test_unseeded_rng_in_probing_py_is_caught(self):
+        path = REPO_ROOT / "src" / "repro" / "core" / "probing.py"
+        source = path.read_text() + (
+            "\nimport numpy as _np_lintcheck\n\n"
+            "_BAD_RNG = _np_lintcheck.random.default_rng()\n"
+        )
+        findings = lint_source(source, str(path))
+        assert any(f.rule_id == "SIM002" for f in findings)
+
+    def test_shipped_tree_is_clean(self):
+        result = lint_paths(
+            [REPO_ROOT / "src", REPO_ROOT / "benchmarks", REPO_ROOT / "examples"]
+        )
+        assert result.parse_errors == []
+        assert result.findings == [], "\n".join(
+            f"{f.location()}: {f.rule_id} {f.message}" for f in result.findings
+        )
+        assert result.files_checked > 100  # the whole tree, not a subset
+
+
+class TestCli:
+    def test_exit_codes_and_text_output(self, capsys):
+        assert lint_main([str(FIXTURES / "clean.py")]) == 0
+        assert lint_main([str(FIXTURES / "bad_sim001.py")]) == 1
+        out = capsys.readouterr().out
+        assert "SIM001" in out and "bad_sim001.py:9" in out
+
+    def test_json_format(self, capsys):
+        code = lint_main([str(FIXTURES / "bad_sim005.py"), "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["finding_count"] == 2
+        assert {f["rule_id"] for f in payload["findings"]} == {"SIM005"}
+        assert payload["files_checked"] == 1
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.id in out
+
+    def test_no_allowlist_reports_realtime(self):
+        realtime = REPO_ROOT / "src" / "repro" / "transport" / "realtime.py"
+        assert lint_main([str(realtime)]) == 0
+        assert lint_main([str(realtime), "--no-allowlist"]) == 1
+
+    def test_syntax_error_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        assert lint_main([str(bad)]) == 2
+        assert "syntax error" in capsys.readouterr().err
+
+    def test_missing_path_exits_2(self, capsys):
+        # A typo'd path must not silently lint zero files and pass CI.
+        assert lint_main(["does/not/exist"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+
+class TestRegistryConsistency:
+    def test_every_rule_has_a_checker(self):
+        from repro.lint.rules import CHECKERS
+
+        assert set(CHECKERS) == {rule.id for rule in ALL_RULES}
+
+    def test_default_allowlist_rules_exist(self):
+        assert set(DEFAULT_ALLOWLIST) <= {rule.id for rule in ALL_RULES}
