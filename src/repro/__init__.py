@@ -39,7 +39,7 @@ from .core import (
 from .campaign import CampaignResult, MeasurementCampaign
 from .runner import measure_avail_bw_sim, run_pathload_on_path
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CampaignResult",

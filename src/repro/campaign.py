@@ -12,6 +12,7 @@ series for the same period.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -59,13 +60,33 @@ class CampaignResult:
         the monitor's avail-bw for the overlapping window."""
         if not self.samples or not self.monitor_series:
             raise ValueError("campaign has no samples or no monitor data")
+        # Nearest-window lookup by bisecting the monitor's time axis —
+        # O(S log M) where the linear scan it replaces was O(S * M), which
+        # dominated long campaigns (the series grows with campaign length).
+        # The monitor appends in time order; sort defensively in case a
+        # caller assembled the series by hand.
+        series = self.monitor_series
+        times = [t for t, _bw in series]
+        if any(a > b for a, b in zip(times, times[1:])):
+            series = sorted(series, key=lambda pair: pair[0])
+            times = [t for t, _bw in series]
         hits = 0
         for sample in self.samples:
             mid_time = (sample.t_start + sample.t_end) / 2.0
-            truth = min(
-                self.monitor_series,
-                key=lambda pair: abs(pair[0] - mid_time),
-            )[1]
+            index = bisect.bisect_left(times, mid_time)
+            if index == 0:
+                truth = series[0][1]
+            elif index == len(times):
+                truth = series[-1][1]
+            else:
+                before_t, before_bw = series[index - 1]
+                after_t, after_bw = series[index]
+                # <= so an exact tie picks the earlier window, matching the
+                # min() scan this replaces (min returns the first minimum).
+                if mid_time - before_t <= after_t - mid_time:
+                    truth = before_bw
+                else:
+                    truth = after_bw
             if (
                 sample.report.low_bps - slack_bps
                 <= truth

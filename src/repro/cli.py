@@ -71,6 +71,17 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument(
         "--list", action="store_true", help="list available figure ids"
     )
+    figure.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the figure's sweep (default: serial)",
+    )
+    figure.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache",
+    )
     return parser
 
 
@@ -124,14 +135,14 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     if args.id == "all":
         for key, run_fn in REGISTRY.items():
             print(f"--- running {key} ---")
-            run_fn().print_table()
+            run_fn(jobs=args.jobs, cache=not args.no_cache).print_table()
         return 0
     run_fn = REGISTRY.get(args.id)
     if run_fn is None:
         print(f"unknown figure {args.id!r}; available: {', '.join(REGISTRY)}",
               file=sys.stderr)
         return 2
-    run_fn().print_table()
+    run_fn(jobs=args.jobs, cache=not args.no_cache).print_table()
     return 0
 
 

@@ -25,6 +25,8 @@ __all__ = [
     "Scale",
     "FigureResult",
     "default_scale",
+    "rng_from_entropy",
+    "spawn_seed_entropy",
     "spawn_seeds",
     "fast_pathload_config",
 ]
@@ -60,9 +62,38 @@ def default_scale(
     return Scale(runs=runs, interval=interval, full=False)
 
 
+def spawn_seed_entropy(master_seed: int, n: int) -> list[int]:
+    """``n`` integer entropy tokens, one per spawned child stream.
+
+    Token ``i`` encodes ``(master_seed, i)``; :func:`rng_from_entropy`
+    rebuilds **exactly** the generator ``spawn_seeds(master_seed, n)[i]``
+    (``SeedSequence(master).spawn(n)[i]`` equals ``SeedSequence(master,
+    spawn_key=(i,))``).  Use these wherever a seed must cross a process
+    boundary — a plain ``int`` pickles in a few bytes, a ``Generator``
+    does not travel honestly.
+    """
+    if master_seed < 0:
+        raise ValueError(f"master seed must be >= 0, got {master_seed}")
+    if n < 0:
+        raise ValueError(f"need n >= 0 streams, got {n}")
+    return [(master_seed << 32) | i for i in range(n)]
+
+
+def rng_from_entropy(token: int) -> np.random.Generator:
+    """The generator a :func:`spawn_seed_entropy` token stands for."""
+    master_seed, index = token >> 32, token & 0xFFFFFFFF
+    return np.random.default_rng(
+        np.random.SeedSequence(master_seed, spawn_key=(index,))
+    )
+
+
 def spawn_seeds(master_seed: int, n: int) -> list[np.random.Generator]:
-    """``n`` independent generators derived from one master seed."""
-    return [np.random.default_rng(s) for s in np.random.SeedSequence(master_seed).spawn(n)]
+    """``n`` independent generators derived from one master seed.
+
+    Delegates to :func:`spawn_seed_entropy` so the serial seed streams and
+    the streams a process-parallel sweep reconstructs are the same streams.
+    """
+    return [rng_from_entropy(token) for token in spawn_seed_entropy(master_seed, n)]
 
 
 def fast_pathload_config(**overrides) -> PathloadConfig:

@@ -8,6 +8,10 @@ of rho over ~110 runs per operating condition.
 The Section VI tool settings are used throughout: omega = 1 Mb/s and
 chi = 1.5 Mb/s, so the reported range is either at most omega wide (no
 grey region) or tracks the grey region's width to within 2*chi.
+
+Every run is an independent seeded simulation, so :func:`rho_samples`
+submits them through :func:`repro.parallel.run_sweep` — ``jobs=N`` fans
+out across processes and reproduces the serial sample order exactly.
 """
 
 from __future__ import annotations
@@ -20,55 +24,119 @@ from ..analysis.stats import percentile_grid, relative_variation
 from ..core.config import PathloadConfig
 from ..netsim.engine import Simulator
 from ..netsim.topologies import build_single_hop_path
+from ..parallel import SweepTask, run_sweep, sweep_values
 from ..transport.probe import run_pathload
-from .base import fast_pathload_config, spawn_seeds
+from .base import fast_pathload_config, rng_from_entropy, spawn_seed_entropy
 
 __all__ = ["rho_samples", "rho_percentiles"]
+
+
+def _rho_one(
+    entropy: int,
+    capacity_bps: float,
+    utilization: float | tuple[float, float],
+    config: PathloadConfig,
+    n_sources: int,
+    warmup: float,
+    prop_delay: float,
+    modulation: tuple[float, float] | None,
+) -> float:
+    """One relative-variation sample (sweep worker).
+
+    ``utilization`` is a constant, or a ``(lo, hi)`` pair drawn uniformly
+    per run — the picklable form of the paper's load *ranges*.
+    """
+    rng = rng_from_entropy(entropy)
+    if isinstance(utilization, tuple):
+        u = float(rng.uniform(utilization[0], utilization[1]))
+    else:
+        u = float(utilization)
+    sim = Simulator()
+    setup = build_single_hop_path(
+        sim,
+        capacity_bps,
+        u,
+        rng,
+        prop_delay=prop_delay,
+        traffic_model="pareto",
+        n_sources=n_sources,
+        modulation=modulation,
+    )
+    report = run_pathload(
+        sim, setup.network, config=config, start=warmup, time_limit=1200.0
+    )
+    return relative_variation(report.low_bps, report.high_bps)
 
 
 def rho_samples(
     runs: int,
     master_seed: int,
     capacity_bps: float,
-    utilization: Callable[[np.random.Generator], float] | float,
+    utilization: Callable[[np.random.Generator], float] | tuple[float, float] | float,
     config: Optional[PathloadConfig] = None,
     n_sources: int = 10,
     warmup: float = 2.0,
     prop_delay: float = 0.01,
     modulation: tuple[float, float] | None = (2.0, 0.25),
+    jobs: int = 1,
+    cache: bool = True,
+    experiment: str = "dynamics",
 ) -> list[float]:
     """Relative-variation samples over ``runs`` independent pathload runs.
 
-    ``utilization`` is either a constant or a callable drawing the
-    utilization per run (the paper's load *ranges*, e.g. 75-85 %).
-
-    ``modulation`` defaults to a slow (2-second timescale) mean-reverting
-    load walk: the real paths of Section VI have non-stationary load on
-    timescales of seconds to minutes, and the stream/fleet-length effects
-    of Figs. 13-14 are precisely about averaging over such variation.  A
-    purely stationary workload would understate them.
+    ``utilization`` is a constant, a ``(lo, hi)`` range drawn uniformly per
+    run, or — legacy, serial-only — a callable taking the run's generator.
+    A ``(lo, hi)`` tuple and the equivalent callable draw the same value
+    from the same stream, so the two spellings produce identical samples;
+    only the tuple form can cross a process boundary.
     """
     if config is None:
         config = fast_pathload_config()
-    samples: list[float] = []
-    for rng in spawn_seeds(master_seed, runs):
-        u = utilization(rng) if callable(utilization) else float(utilization)
-        sim = Simulator()
-        setup = build_single_hop_path(
-            sim,
-            capacity_bps,
-            u,
-            rng,
-            prop_delay=prop_delay,
-            traffic_model="pareto",
-            n_sources=n_sources,
-            modulation=modulation,
+    entropies = spawn_seed_entropy(master_seed, runs)
+    if callable(utilization):
+        if jobs != 1:
+            raise ValueError(
+                "a callable utilization cannot be pickled into worker "
+                "processes; pass a (lo, hi) range or a constant to use jobs>1"
+            )
+        samples = []
+        for entropy in entropies:
+            rng = rng_from_entropy(entropy)
+            u = float(utilization(rng))
+            sim = Simulator()
+            setup = build_single_hop_path(
+                sim,
+                capacity_bps,
+                u,
+                rng,
+                prop_delay=prop_delay,
+                traffic_model="pareto",
+                n_sources=n_sources,
+                modulation=modulation,
+            )
+            report = run_pathload(
+                sim, setup.network, config=config, start=warmup, time_limit=1200.0
+            )
+            samples.append(relative_variation(report.low_bps, report.high_bps))
+        return samples
+    tasks = [
+        SweepTask(
+            fn=_rho_one,
+            kwargs={
+                "capacity_bps": capacity_bps,
+                "utilization": utilization,
+                "config": config,
+                "n_sources": n_sources,
+                "warmup": warmup,
+                "prop_delay": prop_delay,
+                "modulation": modulation,
+            },
+            experiment=experiment,
+            seed_entropy=entropy,
         )
-        report = run_pathload(
-            sim, setup.network, config=config, start=warmup, time_limit=1200.0
-        )
-        samples.append(relative_variation(report.low_bps, report.high_bps))
-    return samples
+        for entropy in entropies
+    ]
+    return sweep_values(run_sweep(tasks, jobs=jobs, cache=cache))
 
 
 def rho_percentiles(samples: list[float]) -> list[tuple[int, float]]:

@@ -25,6 +25,7 @@ from ..core.probing import StreamSpec
 from ..core.trend import classify_owds_two_sided
 from ..netsim.engine import Simulator
 from ..netsim.topologies import build_single_hop_path
+from ..parallel import SweepTask, run_sweep, sweep_values
 from ..transport.probe import ProbeChannel
 from .base import FigureResult
 
@@ -71,7 +72,34 @@ def measure_single_stream(
     return measurement, classification
 
 
-def run(seed: int = 2002, scale=None, sanitize: bool = False) -> FigureResult:
+_REGIMES = {96.0: "R>A", 37.0: "R<A", 82.0: "R~A"}
+
+
+def _measure_row(index: int, rate_mbps: float, seed: int, sanitize: bool) -> dict:
+    """One figure row — a single stream measurement (sweep worker)."""
+    measurement, classification = measure_single_stream(
+        rate_mbps * 1e6, seed=seed, sanitize=sanitize
+    )
+    owds = measurement.relative_owds()
+    return dict(
+        figure=f"fig{index + 1}",
+        rate_mbps=rate_mbps,
+        regime=_REGIMES[rate_mbps],
+        pct=classification.pct,
+        pdt=classification.pdt,
+        verdict=classification.stream_type.value,
+        owd_rise_ms=float(owds[-1] - owds[0]) * 1e3,
+        n_received=measurement.n_received,
+    )
+
+
+def run(
+    seed: int = 2002,
+    scale=None,
+    sanitize: bool = False,
+    jobs: int = 1,
+    cache: bool = True,
+) -> FigureResult:
     """Reproduce Figs. 1-3: one stream per rate, OWDs + trend verdicts."""
     result = FigureResult(
         figure_id="fig01-03",
@@ -91,22 +119,16 @@ def run(seed: int = 2002, scale=None, sanitize: bool = False) -> FigureResult:
             "Pareto cross traffic; K=100 packets of 1200 B."
         ),
     )
-    regimes = {96.0: "R>A", 37.0: "R<A", 82.0: "R~A"}
-    for i, rate_mbps in enumerate(STREAM_RATES_MBPS):
-        measurement, classification = measure_single_stream(
-            rate_mbps * 1e6, seed=seed + i, sanitize=sanitize
+    tasks = [
+        SweepTask(
+            fn=_measure_row,
+            kwargs=dict(index=i, rate_mbps=rate_mbps, seed=seed + i, sanitize=sanitize),
+            experiment="fig01-03",
         )
-        owds = measurement.relative_owds()
-        result.add_row(
-            figure=f"fig{i + 1}",
-            rate_mbps=rate_mbps,
-            regime=regimes[rate_mbps],
-            pct=classification.pct,
-            pdt=classification.pdt,
-            verdict=classification.stream_type.value,
-            owd_rise_ms=float(owds[-1] - owds[0]) * 1e3,
-            n_received=measurement.n_received,
-        )
+        for i, rate_mbps in enumerate(STREAM_RATES_MBPS)
+    ]
+    for row in sweep_values(run_sweep(tasks, jobs=jobs, cache=cache)):
+        result.add_row(**row)
     return result
 
 

@@ -20,13 +20,55 @@ from ..analysis.stats import summarize_ranges
 from ..analysis.validation import validate_range
 from ..netsim.engine import Simulator
 from ..netsim.topologies import Fig4Config, build_fig4_path
+from ..parallel import SweepTask, run_sweep, sweep_values
 from ..transport.probe import run_pathload
-from .base import FigureResult, Scale, default_scale, fast_pathload_config, spawn_seeds
+from .base import (
+    FigureResult,
+    Scale,
+    default_scale,
+    fast_pathload_config,
+    rng_from_entropy,
+    spawn_seed_entropy,
+)
 
-__all__ = ["run", "measure_point", "UTILIZATIONS", "TRAFFIC_MODELS"]
+__all__ = ["run", "measure_point", "point_tasks", "UTILIZATIONS", "TRAFFIC_MODELS"]
 
 UTILIZATIONS: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8)
 TRAFFIC_MODELS: tuple[str, ...] = ("poisson", "pareto")
+
+
+def _measure_one(entropy: int, cfg: Fig4Config, warmup: float) -> tuple[float, float]:
+    """One pathload run over a fresh topology instance (sweep worker)."""
+    rng = rng_from_entropy(entropy)
+    sim = Simulator()
+    setup = build_fig4_path(sim, cfg, rng)
+    report = run_pathload(
+        sim,
+        setup.network,
+        config=fast_pathload_config(),
+        start=warmup,
+        time_limit=warmup + 600.0,
+    )
+    return (report.low_bps, report.high_bps)
+
+
+def point_tasks(
+    cfg: Fig4Config,
+    runs: int,
+    master_seed: int,
+    warmup: float = 2.0,
+    experiment: str = "fig05",
+) -> list[SweepTask]:
+    """The ``runs`` independent sweep tasks of one operating point."""
+    return [
+        SweepTask(
+            fn=_measure_one,
+            kwargs={"cfg": cfg, "warmup": warmup},
+            experiment=experiment,
+            seed_entropy=entropy,
+        )
+        for entropy in spawn_seed_entropy(master_seed, runs)
+    ]
 
 
 def measure_point(
@@ -34,24 +76,25 @@ def measure_point(
     runs: int,
     master_seed: int,
     warmup: float = 2.0,
+    jobs: int = 1,
+    cache: bool = True,
+    experiment: str = "fig05",
 ) -> list[tuple[float, float]]:
     """Run pathload ``runs`` times over fresh instances of a topology."""
-    ranges = []
-    for rng in spawn_seeds(master_seed, runs):
-        sim = Simulator()
-        setup = build_fig4_path(sim, cfg, rng)
-        report = run_pathload(
-            sim,
-            setup.network,
-            config=fast_pathload_config(),
-            start=warmup,
-            time_limit=warmup + 600.0,
-        )
-        ranges.append((report.low_bps, report.high_bps))
-    return ranges
+    outcomes = run_sweep(
+        point_tasks(cfg, runs, master_seed, warmup, experiment=experiment),
+        jobs=jobs,
+        cache=cache,
+    )
+    return sweep_values(outcomes)
 
 
-def run(scale: Optional[Scale] = None, seed: int = 50) -> FigureResult:
+def run(
+    scale: Optional[Scale] = None,
+    seed: int = 50,
+    jobs: int = 1,
+    cache: bool = True,
+) -> FigureResult:
     """Reproduce Fig. 5 across utilizations and traffic models."""
     scale = scale if scale is not None else default_scale(runs=5, full_runs=50)
     result = FigureResult(
@@ -74,28 +117,39 @@ def run(scale: Optional[Scale] = None, seed: int = 50) -> FigureResult:
             "runs averaged per point (paper: 50)."
         ),
     )
-    for model in TRAFFIC_MODELS:
-        for utilization in UTILIZATIONS:
-            cfg = Fig4Config(tight_utilization=utilization, traffic_model=model)
-            ranges = measure_point(
-                cfg, scale.runs, master_seed=seed + int(utilization * 100)
-            )
-            summary = summarize_ranges(ranges)
-            check = validate_range(
-                summary.mean_low_bps, summary.mean_high_bps, cfg.avail_bw_bps
-            )
-            result.add_row(
-                traffic=model,
-                utilization=utilization,
-                true_avail_mbps=cfg.avail_bw_bps / 1e6,
-                avg_low_mbps=summary.mean_low_bps / 1e6,
-                avg_high_mbps=summary.mean_high_bps / 1e6,
-                center_mbps=check.center_bps / 1e6,
-                contains_truth=check.contains_truth,
-                cv_low=summary.cv_low,
-                cv_high=summary.cv_high,
-                runs=scale.runs,
-            )
+    # One flat sweep across every (model, utilization, seed) triple so the
+    # pool stays busy through the whole figure, then collate per point.
+    points = [
+        (model, utilization, Fig4Config(tight_utilization=utilization, traffic_model=model))
+        for model in TRAFFIC_MODELS
+        for utilization in UTILIZATIONS
+    ]
+    tasks = [
+        task
+        for _model, utilization, cfg in points
+        for task in point_tasks(
+            cfg, scale.runs, master_seed=seed + int(utilization * 100)
+        )
+    ]
+    values = sweep_values(run_sweep(tasks, jobs=jobs, cache=cache))
+    for i, (model, utilization, cfg) in enumerate(points):
+        ranges = values[i * scale.runs : (i + 1) * scale.runs]
+        summary = summarize_ranges(ranges)
+        check = validate_range(
+            summary.mean_low_bps, summary.mean_high_bps, cfg.avail_bw_bps
+        )
+        result.add_row(
+            traffic=model,
+            utilization=utilization,
+            true_avail_mbps=cfg.avail_bw_bps / 1e6,
+            avg_low_mbps=summary.mean_low_bps / 1e6,
+            avg_high_mbps=summary.mean_high_bps / 1e6,
+            center_mbps=check.center_bps / 1e6,
+            contains_truth=check.contains_truth,
+            cv_low=summary.cv_low,
+            cv_high=summary.cv_high,
+            runs=scale.runs,
+        )
     return result
 
 

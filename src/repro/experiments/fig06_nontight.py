@@ -17,8 +17,9 @@ from typing import Optional
 from ..analysis.stats import summarize_ranges
 from ..analysis.validation import validate_range
 from ..netsim.topologies import Fig4Config
+from ..parallel import run_sweep, sweep_values
 from .base import FigureResult, Scale, default_scale
-from .fig05_load import measure_point
+from .fig05_load import point_tasks
 
 __all__ = ["run", "NONTIGHT_UTILIZATIONS", "PATH_LENGTHS"]
 
@@ -26,7 +27,12 @@ NONTIGHT_UTILIZATIONS: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8)
 PATH_LENGTHS: tuple[int, ...] = (3, 5)
 
 
-def run(scale: Optional[Scale] = None, seed: int = 60) -> FigureResult:
+def run(
+    scale: Optional[Scale] = None,
+    seed: int = 60,
+    jobs: int = 1,
+    cache: bool = True,
+) -> FigureResult:
     """Reproduce Fig. 6 across nontight loads and path lengths."""
     scale = scale if scale is not None else default_scale(runs=5, full_runs=50)
     result = FigureResult(
@@ -48,33 +54,49 @@ def run(scale: Optional[Scale] = None, seed: int = 60) -> FigureResult:
             "13.3 Mb/s throughout, so the end-to-end avail-bw stays 4 Mb/s."
         ),
     )
-    for hops in PATH_LENGTHS:
-        for ux in NONTIGHT_UTILIZATIONS:
-            cfg = Fig4Config(
+    points = [
+        (
+            hops,
+            ux,
+            Fig4Config(
                 hops=hops,
                 tight_utilization=0.6,
                 tightness_factor=0.3,
                 nontight_utilization=ux,
                 traffic_model="pareto",
-            )
-            ranges = measure_point(
-                cfg, scale.runs, master_seed=seed + hops * 1000 + int(ux * 100)
-            )
-            summary = summarize_ranges(ranges)
-            check = validate_range(
-                summary.mean_low_bps, summary.mean_high_bps, cfg.avail_bw_bps
-            )
-            result.add_row(
-                hops=hops,
-                nontight_utilization=ux,
-                true_avail_mbps=cfg.avail_bw_bps / 1e6,
-                avg_low_mbps=summary.mean_low_bps / 1e6,
-                avg_high_mbps=summary.mean_high_bps / 1e6,
-                center_mbps=check.center_bps / 1e6,
-                contains_truth=check.contains_truth,
-                center_error=check.center_error,
-                runs=scale.runs,
-            )
+            ),
+        )
+        for hops in PATH_LENGTHS
+        for ux in NONTIGHT_UTILIZATIONS
+    ]
+    tasks = [
+        task
+        for hops, ux, cfg in points
+        for task in point_tasks(
+            cfg,
+            scale.runs,
+            master_seed=seed + hops * 1000 + int(ux * 100),
+            experiment="fig06",
+        )
+    ]
+    values = sweep_values(run_sweep(tasks, jobs=jobs, cache=cache))
+    for i, (hops, ux, cfg) in enumerate(points):
+        ranges = values[i * scale.runs : (i + 1) * scale.runs]
+        summary = summarize_ranges(ranges)
+        check = validate_range(
+            summary.mean_low_bps, summary.mean_high_bps, cfg.avail_bw_bps
+        )
+        result.add_row(
+            hops=hops,
+            nontight_utilization=ux,
+            true_avail_mbps=cfg.avail_bw_bps / 1e6,
+            avg_low_mbps=summary.mean_low_bps / 1e6,
+            avg_high_mbps=summary.mean_high_bps / 1e6,
+            center_mbps=check.center_bps / 1e6,
+            contains_truth=check.contains_truth,
+            center_error=check.center_error,
+            runs=scale.runs,
+        )
     return result
 
 

@@ -18,8 +18,9 @@ from typing import Optional
 from ..analysis.stats import summarize_ranges
 from ..analysis.validation import validate_range
 from ..netsim.topologies import Fig4Config
+from ..parallel import run_sweep, sweep_values
 from .base import FigureResult, Scale, default_scale
-from .fig05_load import measure_point
+from .fig05_load import point_tasks
 
 __all__ = ["run", "TIGHTNESS_FACTORS", "PATH_LENGTHS"]
 
@@ -27,7 +28,12 @@ TIGHTNESS_FACTORS: tuple[float, ...] = (0.3, 0.6, 0.9, 1.0)
 PATH_LENGTHS: tuple[int, ...] = (3, 5)
 
 
-def run(scale: Optional[Scale] = None, seed: int = 70) -> FigureResult:
+def run(
+    scale: Optional[Scale] = None,
+    seed: int = 70,
+    jobs: int = 1,
+    cache: bool = True,
+) -> FigureResult:
     """Reproduce Fig. 7 across tightness factors and path lengths."""
     scale = scale if scale is not None else default_scale(runs=5, full_runs=50)
     result = FigureResult(
@@ -50,33 +56,49 @@ def run(scale: Optional[Scale] = None, seed: int = 70) -> FigureResult:
             "for H=5 than H=3."
         ),
     )
-    for hops in PATH_LENGTHS:
-        for beta in TIGHTNESS_FACTORS:
-            cfg = Fig4Config(
+    points = [
+        (
+            hops,
+            beta,
+            Fig4Config(
                 hops=hops,
                 tight_utilization=0.6,
                 tightness_factor=beta,
                 nontight_utilization=0.2,
                 traffic_model="pareto",
-            )
-            ranges = measure_point(
-                cfg, scale.runs, master_seed=seed + hops * 1000 + int(beta * 100)
-            )
-            summary = summarize_ranges(ranges)
-            check = validate_range(
-                summary.mean_low_bps, summary.mean_high_bps, cfg.avail_bw_bps
-            )
-            result.add_row(
-                hops=hops,
-                beta=beta,
-                true_avail_mbps=cfg.avail_bw_bps / 1e6,
-                avg_low_mbps=summary.mean_low_bps / 1e6,
-                avg_high_mbps=summary.mean_high_bps / 1e6,
-                center_mbps=check.center_bps / 1e6,
-                contains_truth=check.contains_truth,
-                center_error=check.center_error,
-                runs=scale.runs,
-            )
+            ),
+        )
+        for hops in PATH_LENGTHS
+        for beta in TIGHTNESS_FACTORS
+    ]
+    tasks = [
+        task
+        for hops, beta, cfg in points
+        for task in point_tasks(
+            cfg,
+            scale.runs,
+            master_seed=seed + hops * 1000 + int(beta * 100),
+            experiment="fig07",
+        )
+    ]
+    values = sweep_values(run_sweep(tasks, jobs=jobs, cache=cache))
+    for i, (hops, beta, cfg) in enumerate(points):
+        ranges = values[i * scale.runs : (i + 1) * scale.runs]
+        summary = summarize_ranges(ranges)
+        check = validate_range(
+            summary.mean_low_bps, summary.mean_high_bps, cfg.avail_bw_bps
+        )
+        result.add_row(
+            hops=hops,
+            beta=beta,
+            true_avail_mbps=cfg.avail_bw_bps / 1e6,
+            avg_low_mbps=summary.mean_low_bps / 1e6,
+            avg_high_mbps=summary.mean_high_bps / 1e6,
+            center_mbps=check.center_bps / 1e6,
+            contains_truth=check.contains_truth,
+            center_error=check.center_error,
+            runs=scale.runs,
+        )
     return result
 
 

@@ -17,15 +17,49 @@ import numpy as np
 
 from ..netsim.engine import Simulator
 from ..netsim.topologies import Fig4Config, build_fig4_path
+from ..parallel import SweepTask, run_sweep, sweep_values
 from ..transport.probe import run_pathload
-from .base import FigureResult, Scale, default_scale, fast_pathload_config, spawn_seeds
+from .base import (
+    FigureResult,
+    Scale,
+    default_scale,
+    fast_pathload_config,
+    rng_from_entropy,
+    spawn_seed_entropy,
+)
 
 __all__ = ["run", "FRACTIONS"]
 
 FRACTIONS: tuple[float, ...] = (0.55, 0.7, 0.8, 0.9)
 
 
-def run(scale: Optional[Scale] = None, seed: int = 80) -> FigureResult:
+def _measure_one(
+    entropy: int, cfg: Fig4Config, fraction: float
+) -> tuple[float, float, float, int, int]:
+    """One pathload run at fleet fraction ``fraction`` (sweep worker).
+
+    Returns ``(low, high, width, grey_fleets, total_fleets)``.
+    """
+    rng = rng_from_entropy(entropy)
+    sim = Simulator()
+    setup = build_fig4_path(sim, cfg, rng)
+    report = run_pathload(
+        sim,
+        setup.network,
+        config=fast_pathload_config(fleet_fraction=fraction),
+        start=2.0,
+        time_limit=600.0,
+    )
+    grey = sum(1 for f in report.fleets if f.outcome.value == "grey")
+    return (report.low_bps, report.high_bps, report.width_bps, grey, len(report.fleets))
+
+
+def run(
+    scale: Optional[Scale] = None,
+    seed: int = 80,
+    jobs: int = 1,
+    cache: bool = True,
+) -> FigureResult:
     """Reproduce Fig. 8: reported range vs fleet fraction f."""
     scale = scale if scale is not None else default_scale(runs=3, full_runs=10)
     result = FigureResult(
@@ -46,25 +80,24 @@ def run(scale: Optional[Scale] = None, seed: int = 80) -> FigureResult:
         ),
     )
     cfg_path = Fig4Config(tight_utilization=0.6, traffic_model="pareto")
-    for fraction in FRACTIONS:
-        widths, lows, highs, grey_counts, fleet_counts = [], [], [], 0, 0
-        for rng in spawn_seeds(seed + int(fraction * 100), scale.runs):
-            sim = Simulator()
-            setup = build_fig4_path(sim, cfg_path, rng)
-            report = run_pathload(
-                sim,
-                setup.network,
-                config=fast_pathload_config(fleet_fraction=fraction),
-                start=2.0,
-                time_limit=600.0,
-            )
-            lows.append(report.low_bps)
-            highs.append(report.high_bps)
-            widths.append(report.width_bps)
-            grey_counts += sum(
-                1 for f in report.fleets if f.outcome.value == "grey"
-            )
-            fleet_counts += len(report.fleets)
+    tasks = [
+        SweepTask(
+            fn=_measure_one,
+            kwargs={"cfg": cfg_path, "fraction": fraction},
+            experiment="fig08",
+            seed_entropy=entropy,
+        )
+        for fraction in FRACTIONS
+        for entropy in spawn_seed_entropy(seed + int(fraction * 100), scale.runs)
+    ]
+    values = sweep_values(run_sweep(tasks, jobs=jobs, cache=cache))
+    for i, fraction in enumerate(FRACTIONS):
+        chunk = values[i * scale.runs : (i + 1) * scale.runs]
+        lows = [v[0] for v in chunk]
+        highs = [v[1] for v in chunk]
+        widths = [v[2] for v in chunk]
+        grey_counts = sum(v[3] for v in chunk)
+        fleet_counts = sum(v[4] for v in chunk)
         result.add_row(
             fraction=fraction,
             true_avail_mbps=cfg_path.avail_bw_bps / 1e6,

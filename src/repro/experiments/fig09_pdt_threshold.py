@@ -20,15 +20,49 @@ import numpy as np
 
 from ..netsim.engine import Simulator
 from ..netsim.topologies import Fig4Config, build_fig4_path
+from ..parallel import SweepTask, run_sweep, sweep_values
 from ..transport.probe import run_pathload
-from .base import FigureResult, Scale, default_scale, fast_pathload_config, spawn_seeds
+from .base import (
+    FigureResult,
+    Scale,
+    default_scale,
+    fast_pathload_config,
+    rng_from_entropy,
+    spawn_seed_entropy,
+)
 
 __all__ = ["run", "PDT_THRESHOLDS"]
 
 PDT_THRESHOLDS: tuple[float, ...] = (0.05, 0.2, 0.4, 0.6, 0.8, 0.95)
 
 
-def run(scale: Optional[Scale] = None, seed: int = 90) -> FigureResult:
+def _measure_one(
+    entropy: int, cfg: Fig4Config, threshold: float
+) -> tuple[float, float]:
+    """One PDT-only pathload run at one threshold (sweep worker)."""
+    rng = rng_from_entropy(entropy)
+    sim = Simulator()
+    setup = build_fig4_path(sim, cfg, rng)
+    report = run_pathload(
+        sim,
+        setup.network,
+        config=fast_pathload_config(
+            classification_rule="paper",
+            use_pct=False,
+            pdt_threshold=threshold,
+        ),
+        start=2.0,
+        time_limit=600.0,
+    )
+    return (report.low_bps, report.high_bps)
+
+
+def run(
+    scale: Optional[Scale] = None,
+    seed: int = 90,
+    jobs: int = 1,
+    cache: bool = True,
+) -> FigureResult:
     """Reproduce Fig. 9: reported range vs the PDT threshold (PDT-only)."""
     scale = scale if scale is not None else default_scale(runs=3, full_runs=10)
     result = FigureResult(
@@ -48,24 +82,21 @@ def run(scale: Optional[Scale] = None, seed: int = 90) -> FigureResult:
         ),
     )
     cfg_path = Fig4Config(tight_utilization=0.6, traffic_model="pareto")
-    for threshold in PDT_THRESHOLDS:
-        lows, highs = [], []
-        for rng in spawn_seeds(seed + int(threshold * 100), scale.runs):
-            sim = Simulator()
-            setup = build_fig4_path(sim, cfg_path, rng)
-            report = run_pathload(
-                sim,
-                setup.network,
-                config=fast_pathload_config(
-                    classification_rule="paper",
-                    use_pct=False,
-                    pdt_threshold=threshold,
-                ),
-                start=2.0,
-                time_limit=600.0,
-            )
-            lows.append(report.low_bps)
-            highs.append(report.high_bps)
+    tasks = [
+        SweepTask(
+            fn=_measure_one,
+            kwargs={"cfg": cfg_path, "threshold": threshold},
+            experiment="fig09",
+            seed_entropy=entropy,
+        )
+        for threshold in PDT_THRESHOLDS
+        for entropy in spawn_seed_entropy(seed + int(threshold * 100), scale.runs)
+    ]
+    values = sweep_values(run_sweep(tasks, jobs=jobs, cache=cache))
+    for i, threshold in enumerate(PDT_THRESHOLDS):
+        chunk = values[i * scale.runs : (i + 1) * scale.runs]
+        lows = [v[0] for v in chunk]
+        highs = [v[1] for v in chunk]
         avg_low = float(np.mean(lows))
         avg_high = float(np.mean(highs))
         result.add_row(

@@ -32,8 +32,16 @@ from ..core.pathload import PathloadController
 from ..netsim.engine import Simulator
 from ..netsim.monitor import MRTGMonitor
 from ..netsim.topologies import build_two_link_path
+from ..parallel import SweepTask, run_sweep, sweep_values
 from ..transport.probe import ProbeChannel, drive_controller
-from .base import FigureResult, Scale, default_scale, fast_pathload_config, spawn_seeds
+from .base import (
+    FigureResult,
+    Scale,
+    default_scale,
+    fast_pathload_config,
+    rng_from_entropy,
+    spawn_seed_entropy,
+)
 
 __all__ = ["run", "measure_window"]
 
@@ -93,7 +101,35 @@ def measure_window(
     return weighted_low, weighted_high, band_lo, band_hi, len(runs)
 
 
-def run(scale: Optional[Scale] = None, seed: int = 100, trials: int = 6) -> FigureResult:
+def _trial_row(entropy: int, trial: int, window: float) -> dict:
+    """One pathload-vs-MRTG trial (sweep worker)."""
+    rng = rng_from_entropy(entropy)
+    utilization = float(rng.uniform(0.45, 0.70))
+    wlo, whi, band_lo, band_hi, n_runs = measure_window(
+        rng, window=window, tight_utilization=utilization
+    )
+    center = (wlo + whi) / 2.0
+    within = band_lo <= center <= band_hi
+    deviation = 0.0 if within else min(abs(center - band_lo), abs(center - band_hi))
+    return dict(
+        trial=trial + 1,
+        tight_utilization=utilization,
+        mrtg_lo_mbps=band_lo / 1e6,
+        mrtg_hi_mbps=band_hi / 1e6,
+        pathload_center_mbps=center / 1e6,
+        within_band=within,
+        deviation_mbps=deviation / 1e6,
+        pathload_runs=n_runs,
+    )
+
+
+def run(
+    scale: Optional[Scale] = None,
+    seed: int = 100,
+    trials: int = 6,
+    jobs: int = 1,
+    cache: bool = True,
+) -> FigureResult:
     """Reproduce Fig. 10: independent pathload-vs-MRTG comparisons."""
     scale = scale if scale is not None else default_scale(runs=1, interval=45.0)
     if scale.full:
@@ -118,25 +154,17 @@ def run(scale: Optional[Scale] = None, seed: int = 100, trials: int = 6) -> Figu
             "Paper: 10/12 within band, misses marginal."
         ),
     )
-    rngs = spawn_seeds(seed, trials)
-    for i, rng in enumerate(rngs):
-        utilization = float(rng.uniform(0.45, 0.70))
-        wlo, whi, band_lo, band_hi, n_runs = measure_window(
-            rng, window=scale.interval, tight_utilization=utilization
+    tasks = [
+        SweepTask(
+            fn=_trial_row,
+            kwargs={"trial": i, "window": scale.interval},
+            experiment="fig10",
+            seed_entropy=entropy,
         )
-        center = (wlo + whi) / 2.0
-        within = band_lo <= center <= band_hi
-        deviation = 0.0 if within else min(abs(center - band_lo), abs(center - band_hi))
-        result.add_row(
-            trial=i + 1,
-            tight_utilization=utilization,
-            mrtg_lo_mbps=band_lo / 1e6,
-            mrtg_hi_mbps=band_hi / 1e6,
-            pathload_center_mbps=center / 1e6,
-            within_band=within,
-            deviation_mbps=deviation / 1e6,
-            pathload_runs=n_runs,
-        )
+        for i, entropy in enumerate(spawn_seed_entropy(seed, trials))
+    ]
+    for row in sweep_values(run_sweep(tasks, jobs=jobs, cache=cache)):
+        result.add_row(**row)
     return result
 
 

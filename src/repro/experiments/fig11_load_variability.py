@@ -27,7 +27,12 @@ LOAD_RANGES: tuple[tuple[float, float], ...] = ((0.20, 0.30), (0.40, 0.50), (0.7
 CAPACITY = 12.4e6
 
 
-def run(scale: Optional[Scale] = None, seed: int = 110) -> FigureResult:
+def run(
+    scale: Optional[Scale] = None,
+    seed: int = 110,
+    jobs: int = 1,
+    cache: bool = True,
+) -> FigureResult:
     """Reproduce Fig. 11: CDF of rho per utilization range."""
     scale = scale if scale is not None else default_scale(runs=12, full_runs=110)
     result = FigureResult(
@@ -45,7 +50,10 @@ def run(scale: Optional[Scale] = None, seed: int = 110) -> FigureResult:
             runs=scale.runs,
             master_seed=seed + int(lo * 100),
             capacity_bps=CAPACITY,
-            utilization=lambda rng, lo=lo, hi=hi: float(rng.uniform(lo, hi)),
+            utilization=(lo, hi),
+            jobs=jobs,
+            cache=cache,
+            experiment="fig11",
         )
         for percentile, rho in rho_percentiles(samples):
             result.add_row(

@@ -36,7 +36,12 @@ PATHS: tuple[tuple[str, float, int], ...] = (
 UTILIZATION = 0.65
 
 
-def run(scale: Optional[Scale] = None, seed: int = 120) -> FigureResult:
+def run(
+    scale: Optional[Scale] = None,
+    seed: int = 120,
+    jobs: int = 1,
+    cache: bool = True,
+) -> FigureResult:
     """Reproduce Fig. 12: CDF of rho for paths A, B, C."""
     scale = scale if scale is not None else default_scale(runs=10, full_runs=110)
     result = FigureResult(
@@ -56,6 +61,9 @@ def run(scale: Optional[Scale] = None, seed: int = 120) -> FigureResult:
             capacity_bps=capacity,
             utilization=UTILIZATION,
             n_sources=n_sources,
+            jobs=jobs,
+            cache=cache,
+            experiment="fig12",
         )
         for percentile, rho in rho_percentiles(samples):
             result.add_row(

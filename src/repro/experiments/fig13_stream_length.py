@@ -29,7 +29,12 @@ CAPACITY = 12.4e6
 UTILIZATION = 0.64  # A ~ 4.5 Mb/s
 
 
-def run(scale: Optional[Scale] = None, seed: int = 130) -> FigureResult:
+def run(
+    scale: Optional[Scale] = None,
+    seed: int = 130,
+    jobs: int = 1,
+    cache: bool = True,
+) -> FigureResult:
     """Reproduce Fig. 13: CDF of rho for three stream lengths."""
     scale = scale if scale is not None else default_scale(runs=10, full_runs=110)
     result = FigureResult(
@@ -62,6 +67,9 @@ def run(scale: Optional[Scale] = None, seed: int = 130) -> FigureResult:
             capacity_bps=CAPACITY,
             utilization=UTILIZATION,
             config=config,
+            jobs=jobs,
+            cache=cache,
+            experiment="fig13",
         )
         for percentile, rho in rho_percentiles(samples):
             result.add_row(

@@ -29,7 +29,12 @@ CAPACITY = 12.4e6
 UTILIZATION = 0.64
 
 
-def run(scale: Optional[Scale] = None, seed: int = 140) -> FigureResult:
+def run(
+    scale: Optional[Scale] = None,
+    seed: int = 140,
+    jobs: int = 1,
+    cache: bool = True,
+) -> FigureResult:
     """Reproduce Fig. 14: CDF of rho for three fleet lengths."""
     scale = scale if scale is not None else default_scale(runs=10, full_runs=110)
     result = FigureResult(
@@ -50,6 +55,9 @@ def run(scale: Optional[Scale] = None, seed: int = 140) -> FigureResult:
             capacity_bps=CAPACITY,
             utilization=UTILIZATION,
             config=config,
+            jobs=jobs,
+            cache=cache,
+            experiment="fig14",
         )
         iqr = float(np.percentile(samples, 75) - np.percentile(samples, 25))
         for percentile, rho in rho_percentiles(samples):

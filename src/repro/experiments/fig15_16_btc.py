@@ -23,18 +23,68 @@ from typing import Optional
 import numpy as np
 
 from ..baselines.btc import run_btc
+from ..parallel import SweepTask, run_sweep, sweep_values
 from ..transport.tcp import TCPConfig
 from .base import FigureResult, Scale, default_scale
-from .sectionvii import INTERVAL_NAMES, build_testbed
+from .sectionvii import INTERVAL_NAMES, build_testbed, run_schedule
 
 __all__ = ["run"]
 
 
-def run(scale: Optional[Scale] = None, seed: int = 150) -> FigureResult:
+def _simulate(seed: int, interval: float) -> list[dict]:
+    """The whole Figs. 15-16 testbed run (sweep worker).
+
+    One 25-interval-minute simulation is the atomic unit here — the
+    intervals share live state, so the parallel layer's contribution is
+    caching and failure capture rather than fan-out.
+    """
+    bed = build_testbed(seed=seed, interval=interval, ping_interval=1.0)
+    sim = bed.sim
+    btc_results = {}
+
+    def probe(name: str, start: float, end: float) -> None:
+        btc_results[name] = run_btc(
+            sim,
+            bed.network,
+            t_start=start,
+            t_end=end,
+            config=TCPConfig(min_rto=0.5),
+            bin_width=1.0,
+            # Exclude the Reno ramp from the average: the paper's 300-s
+            # intervals dwarf slow start, shorter simulated ones do not.
+            settle=interval / 3,
+        )
+
+    run_schedule(bed, ("B", "D"), probe)
+
+    rows = []
+    for name in INTERVAL_NAMES:
+        rtts = np.array(bed.interval_rtts(name))
+        btc = btc_results.get(name)
+        rows.append(
+            dict(
+                interval=name,
+                btc_active=name in ("B", "D"),
+                avail_bw_mbps=bed.interval_avail_bw(name) / 1e6,
+                btc_throughput_mbps=btc.throughput_bps / 1e6 if btc else None,
+                btc_min_1s_mbps=btc.min_bin_bps / 1e6 if btc else None,
+                btc_max_1s_mbps=btc.max_bin_bps / 1e6 if btc else None,
+                rtt_mean_ms=float(rtts.mean()) * 1e3 if len(rtts) else None,
+                rtt_max_ms=float(rtts.max()) * 1e3 if len(rtts) else None,
+                rtt_std_ms=float(rtts.std()) * 1e3 if len(rtts) else None,
+            )
+        )
+    return rows
+
+
+def run(
+    scale: Optional[Scale] = None,
+    seed: int = 150,
+    jobs: int = 1,
+    cache: bool = True,
+) -> FigureResult:
     """Reproduce Figs. 15-16: the A-E interval schedule with BTC in B/D."""
     scale = scale if scale is not None else default_scale(interval=60.0)
-    bed = build_testbed(seed=seed, interval=scale.interval, ping_interval=1.0)
-    sim = bed.sim
     result = FigureResult(
         figure_id="fig15-16",
         title="Avail-bw vs BTC throughput (Fig 15) and RTTs (Fig 16)",
@@ -55,39 +105,14 @@ def run(scale: Optional[Scale] = None, seed: int = 150) -> FigureResult:
             "and D."
         ),
     )
-    btc_results = {}
-    for name in INTERVAL_NAMES:
-        start, end = bed.schedule.bounds(name)
-        if name in ("B", "D"):
-            btc_results[name] = run_btc(
-                sim,
-                bed.network,
-                t_start=start,
-                t_end=end,
-                config=TCPConfig(min_rto=0.5),
-                bin_width=1.0,
-                # Exclude the Reno ramp from the average: the paper's 300-s
-                # intervals dwarf slow start, shorter simulated ones do not.
-                settle=scale.interval / 3,
-            )
-        else:
-            sim.run(until=end)
-    sim.run(until=bed.schedule.end + 1.0)
-
-    for name in INTERVAL_NAMES:
-        rtts = np.array(bed.interval_rtts(name))
-        btc = btc_results.get(name)
-        result.add_row(
-            interval=name,
-            btc_active=name in ("B", "D"),
-            avail_bw_mbps=bed.interval_avail_bw(name) / 1e6,
-            btc_throughput_mbps=btc.throughput_bps / 1e6 if btc else None,
-            btc_min_1s_mbps=btc.min_bin_bps / 1e6 if btc else None,
-            btc_max_1s_mbps=btc.max_bin_bps / 1e6 if btc else None,
-            rtt_mean_ms=float(rtts.mean()) * 1e3 if len(rtts) else None,
-            rtt_max_ms=float(rtts.max()) * 1e3 if len(rtts) else None,
-            rtt_std_ms=float(rtts.std()) * 1e3 if len(rtts) else None,
-        )
+    task = SweepTask(
+        fn=_simulate,
+        kwargs={"seed": seed, "interval": scale.interval},
+        experiment="fig15-16",
+    )
+    (rows,) = sweep_values(run_sweep([task], jobs=jobs, cache=cache))
+    for row in rows:
+        result.add_row(**row)
     return result
 
 

@@ -26,20 +26,64 @@ import numpy as np
 
 from ..core.config import PathloadConfig
 from ..core.pathload import PathloadController
+from ..parallel import SweepTask, run_sweep, sweep_values
 from ..transport.probe import ProbeChannel, drive_controller
 from .base import FigureResult, Scale, default_scale
-from .sectionvii import INTERVAL_NAMES, build_testbed
+from .sectionvii import INTERVAL_NAMES, build_testbed, run_schedule
 
 __all__ = ["run"]
 
 
-def run(scale: Optional[Scale] = None, seed: int = 170) -> FigureResult:
-    """Reproduce Figs. 17-18: the A-E schedule with pathload in B/D."""
-    scale = scale if scale is not None else default_scale(interval=60.0)
-    bed = build_testbed(seed=seed, interval=scale.interval, ping_interval=0.1)
+def _simulate(seed: int, interval: float) -> list[dict]:
+    """The whole Figs. 17-18 intrusiveness run (sweep worker)."""
+    bed = build_testbed(seed=seed, interval=interval, ping_interval=0.1)
     sim = bed.sim
     channel = ProbeChannel(sim, bed.network)
     config = PathloadConfig()  # paper defaults, idle_factor=9
+    reports: dict[str, list] = {"B": [], "D": []}
+    loss_rates: list[float] = []
+
+    def probe(name: str, start: float, end: float) -> None:
+        sim.run(until=start)
+        while sim.now < end:
+            controller = PathloadController(config, rtt=bed.network.min_rtt())
+            process = drive_controller(sim, controller, channel)
+            report = sim.run_until(process.done_event)
+            # attribute the run to the interval it started in (a run may
+            # finish just past the boundary, as on the real path)
+            reports[name].append(report)
+            for fleet in report.fleets:
+                loss_rates.extend(m.loss_rate for m in fleet.measurements)
+
+    run_schedule(bed, ("B", "D"), probe)
+
+    rows = []
+    for name in INTERVAL_NAMES:
+        rtts = np.array(bed.interval_rtts(name))
+        rows.append(
+            dict(
+                interval=name,
+                pathload_active=name in ("B", "D"),
+                avail_bw_mbps=bed.interval_avail_bw(name) / 1e6,
+                rtt_mean_ms=float(rtts.mean()) * 1e3 if len(rtts) else None,
+                rtt_max_ms=float(rtts.max()) * 1e3 if len(rtts) else None,
+                rtt_std_ms=float(rtts.std()) * 1e3 if len(rtts) else None,
+                pathload_reports=len(reports.get(name, [])) if name in reports else None,
+                probe_loss_rate=float(np.mean(loss_rates)) if loss_rates else 0.0,
+                ping_losses=bed.pinger.lost,
+            )
+        )
+    return rows
+
+
+def run(
+    scale: Optional[Scale] = None,
+    seed: int = 170,
+    jobs: int = 1,
+    cache: bool = True,
+) -> FigureResult:
+    """Reproduce Figs. 17-18: the A-E schedule with pathload in B/D."""
+    scale = scale if scale is not None else default_scale(interval=60.0)
     result = FigureResult(
         figure_id="fig17-18",
         title="Avail-bw (Fig 17) and RTTs (Fig 18) while pathload runs",
@@ -60,40 +104,14 @@ def run(scale: Optional[Scale] = None, seed: int = 170) -> FigureResult:
             "ping every 100 ms."
         ),
     )
-    reports: dict[str, list] = {"B": [], "D": []}
-    loss_rates: list[float] = []
-    for name in INTERVAL_NAMES:
-        start, end = bed.schedule.bounds(name)
-        if name in ("B", "D"):
-            sim.run(until=start)
-            while sim.now < end:
-                controller = PathloadController(
-                    config, rtt=bed.network.min_rtt()
-                )
-                process = drive_controller(sim, controller, channel)
-                report = sim.run_until(process.done_event)
-                # attribute the run to the interval it started in (a run may
-                # finish just past the boundary, as on the real path)
-                reports[name].append(report)
-                for fleet in report.fleets:
-                    loss_rates.extend(m.loss_rate for m in fleet.measurements)
-        else:
-            sim.run(until=end)
-    sim.run(until=bed.schedule.end + 1.0)
-
-    for name in INTERVAL_NAMES:
-        rtts = np.array(bed.interval_rtts(name))
-        result.add_row(
-            interval=name,
-            pathload_active=name in ("B", "D"),
-            avail_bw_mbps=bed.interval_avail_bw(name) / 1e6,
-            rtt_mean_ms=float(rtts.mean()) * 1e3 if len(rtts) else None,
-            rtt_max_ms=float(rtts.max()) * 1e3 if len(rtts) else None,
-            rtt_std_ms=float(rtts.std()) * 1e3 if len(rtts) else None,
-            pathload_reports=len(reports.get(name, [])) if name in reports else None,
-            probe_loss_rate=float(np.mean(loss_rates)) if loss_rates else 0.0,
-            ping_losses=bed.pinger.lost,
-        )
+    task = SweepTask(
+        fn=_simulate,
+        kwargs={"seed": seed, "interval": scale.interval},
+        experiment="fig17-18",
+    )
+    (rows,) = sweep_values(run_sweep([task], jobs=jobs, cache=cache))
+    for row in rows:
+        result.add_row(**row)
     return result
 
 

@@ -33,7 +33,7 @@ from ..netsim.path import LinkSpec, PathNetwork, build_path
 from ..transport.ping import Pinger
 from ..transport.tcp import TCPConfig, TCPReceiver, TCPSender, open_connection
 
-__all__ = ["Testbed", "IntervalSchedule", "build_testbed"]
+__all__ = ["Testbed", "IntervalSchedule", "build_testbed", "run_schedule"]
 
 INTERVAL_NAMES = ("A", "B", "C", "D", "E")
 
@@ -146,3 +146,24 @@ def build_testbed(
         pinger=pinger,
         background=background,
     )
+
+
+def run_schedule(bed: Testbed, active: tuple[str, ...], probe) -> None:
+    """Drive the five-interval schedule over one testbed.
+
+    ``probe(name, start, end)`` is invoked for each interval named in
+    ``active`` (and is responsible for advancing the simulation through
+    it); the quiet intervals are idled through, and the clock is drained
+    one second past (E) so the final MRTG window and ping samples complete.
+
+    Both Section VII (BTC in B/D) and Section VIII (pathload in B/D) are
+    instances of this schedule, which keeps their sweep workers — the unit
+    :func:`repro.parallel.run_sweep` executes and caches — tiny.
+    """
+    for name in INTERVAL_NAMES:
+        start, end = bed.schedule.bounds(name)
+        if name in active:
+            probe(name, start, end)
+        else:
+            bed.sim.run(until=end)
+    bed.sim.run(until=bed.schedule.end + 1.0)

@@ -43,7 +43,8 @@ PAPER_PACKET_MIX: tuple[tuple[int, float], ...] = (
     (1500, 0.10),
 )
 
-_BATCH = 512  # samples drawn per vectorized RNG call
+_BATCH = 4096  # samples buffered per refill
+_CHUNK = 512  # RNG draw granularity within a refill (see _refill)
 
 
 class PacketMix:
@@ -141,8 +142,11 @@ class CrossTrafficSource:
         self.name = name
         self.packets_sent = 0
         self.bytes_sent = 0
-        self._sizes: np.ndarray = np.empty(0, dtype=np.int64)
-        self._gaps: np.ndarray = np.empty(0, dtype=np.float64)
+        # Refilled in vectorized batches, then walked as plain Python lists:
+        # indexing an ndarray yields numpy scalars, whose arithmetic in the
+        # per-packet path is several times slower than float/int.
+        self._sizes: list[int] = []
+        self._gaps: list[float] = []
         self._idx = 0
         #: mean interarrival implied by the rate and mean packet size
         self.mean_gap = (
@@ -171,24 +175,33 @@ class CrossTrafficSource:
 
     def _refill(self) -> None:
         mean = self.mean_gap
-        if self.model == "poisson":
-            self._gaps = self.rng.exponential(mean, size=_BATCH)
-        elif self.model == "pareto":
-            # numpy's Generator.pareto draws Lomax samples (x_m = 1 shifted
-            # to zero); interarrival = x_m * (1 + lomax) has mean
-            # x_m * alpha / (alpha - 1).
-            xm = mean * (self.alpha - 1.0) / self.alpha
-            self._gaps = xm * (1.0 + self.rng.pareto(self.alpha, size=_BATCH))
-        else:  # cbr
-            self._gaps = np.full(_BATCH, mean)
-        self._sizes = self.mix.sample(self.rng, _BATCH)
+        gaps: list[float] = []
+        sizes: list[int] = []
+        # Draw in _CHUNK-sized sub-batches, alternating gaps and sizes: the
+        # RNG stream consumption order then depends only on _CHUNK, so the
+        # buffer size amortizes refill overhead without perturbing the
+        # sample path of any seeded experiment.
+        for _ in range(_BATCH // _CHUNK):
+            if self.model == "poisson":
+                chunk = self.rng.exponential(mean, size=_CHUNK)
+            elif self.model == "pareto":
+                # numpy's Generator.pareto draws Lomax samples (x_m = 1
+                # shifted to zero); interarrival = x_m * (1 + lomax) has
+                # mean x_m * alpha / (alpha - 1).
+                xm = mean * (self.alpha - 1.0) / self.alpha
+                chunk = xm * (1.0 + self.rng.pareto(self.alpha, size=_CHUNK))
+            else:  # cbr
+                chunk = np.full(_CHUNK, mean)
+            gaps.extend(chunk.tolist())
+            sizes.extend(self.mix.sample(self.rng, _CHUNK).tolist())
+        self._gaps = gaps
+        self._sizes = sizes
         self._idx = 0
 
     def _next_gap(self) -> float:
         if self._idx >= len(self._gaps):
             self._refill()
-        gap = self._gaps[self._idx]
-        return float(gap)
+        return self._gaps[self._idx]
 
     def _arrival(self) -> None:
         now = self.sim.now
@@ -196,7 +209,7 @@ class CrossTrafficSource:
             return
         if self._idx >= len(self._sizes):
             self._refill()
-        size = int(self._sizes[self._idx])
+        size = self._sizes[self._idx]
         pkt = Packet(size, flow_id=self.name, kind=PacketKind.CROSS)
         self.network.inject_at(self.link, pkt)
         self.packets_sent += 1

@@ -324,6 +324,10 @@ class Simulator:
 
         ``delay`` must be non-negative.  Ties are broken FIFO (stable order).
         Returns a :class:`ScheduledCall` handle that can be cancelled.
+
+        This is the per-packet hot path (one call per link event), so the
+        body is :meth:`schedule_at` inlined: no second past-time check — a
+        non-negative delay cannot move time backwards.
         """
         if delay < 0:
             raise SimulationError(
@@ -336,7 +340,10 @@ class Simulator:
                 f"at t={self._now!r} — NaN/inf delays corrupt heap ordering "
                 "silently"
             )
-        return self.schedule_at(self._now + delay, fn, *args)
+        call = ScheduledCall(self._now + delay, fn, args)
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._queue, (call.time, seq, call))
+        return call
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> ScheduledCall:
         """Run ``fn(*args)`` at absolute simulated time ``time``."""
@@ -422,21 +429,37 @@ class Simulator:
         if self._running:
             raise SimulationError("run() called reentrantly")
         self._running = True
+        # Everything below runs once per simulated event; bind the loop
+        # invariants (queue list, heappop, sanitize flag) to locals so each
+        # iteration pays no attribute lookups.  ``sanitize`` cannot change
+        # mid-run, and ``self._queue`` is mutated in place, never rebound.
         queue = self._queue
+        pop = heapq.heappop
+        sanitize = self._sanitize
         try:
-            while queue:
-                time, seq, call = queue[0]
-                if until is not None and time > until:
-                    break
-                heapq.heappop(queue)
-                if call.cancelled:
-                    continue
-                if self._sanitize:
-                    self._observe_pop(time, seq, call)
-                self._now = time
-                call.fn(*call.args)
-            if until is not None and self._now < until:
-                self._now = until
+            if until is None:
+                while queue:
+                    time, seq, call = pop(queue)
+                    if call.cancelled:
+                        continue
+                    if sanitize:
+                        self._observe_pop(time, seq, call)
+                    self._now = time
+                    call.fn(*call.args)
+            else:
+                while queue:
+                    time, seq, call = queue[0]
+                    if time > until:
+                        break
+                    pop(queue)
+                    if call.cancelled:
+                        continue
+                    if sanitize:
+                        self._observe_pop(time, seq, call)
+                    self._now = time
+                    call.fn(*call.args)
+                if self._now < until:
+                    self._now = until
         finally:
             self._running = False
         return self._now
@@ -450,21 +473,24 @@ class Simulator:
         if self._running:
             raise SimulationError("run_until() called reentrantly")
         self._running = True
+        # Same per-event local bindings as :meth:`run`.
         queue = self._queue
+        pop = heapq.heappop
+        sanitize = self._sanitize
         try:
             while not event.triggered:
                 if not queue:
                     raise SimulationError(
                         "event queue drained before awaited event triggered"
                     )
-                time, seq, call = heapq.heappop(queue)
+                time, seq, call = pop(queue)
                 if call.cancelled:
                     continue
                 if limit is not None and time > limit:
                     raise SimulationError(
                         f"time limit {limit}s reached before awaited event triggered"
                     )
-                if self._sanitize:
+                if sanitize:
                     self._observe_pop(time, seq, call)
                 self._now = time
                 call.fn(*call.args)

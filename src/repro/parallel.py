@@ -1,0 +1,303 @@
+"""Process-parallel experiment sweeps with a deterministic result cache.
+
+The paper's evaluation needs 50-110 independent pathload runs per operating
+point (Sections V-VII).  Each run is a self-contained seeded simulation, so
+the sweep over ``(experiment, operating point, seed)`` is embarrassingly
+parallel — yet must stay *bit-identical* to the serial order, because the
+whole repository's promise is replayability from a master seed.
+
+This module provides the fan-out layer:
+
+* :class:`SweepTask` — a picklable description of one run.  Seeds cross the
+  process boundary as **integer entropy tokens** (see
+  :func:`repro.experiments.base.spawn_seed_entropy`), never as
+  ``numpy.random.Generator`` objects, so tasks are cheap to ship.
+* :func:`run_sweep` — executes tasks with a process pool (``jobs > 1``) or
+  in-process (``jobs=1``, the reference order), collates results **in task
+  order** regardless of completion order, and captures per-task failures:
+  a crashed worker reports the offending seed/config instead of killing the
+  sibling runs.
+* An on-disk result cache under ``.repro_cache/`` keyed by
+  ``(experiment id, worker function, task kwargs, seed entropy, repro
+  version)``; re-running a figure after an unrelated edit is a cache hit.
+  ``cache=False`` (CLI: ``--no-cache``) bypasses it.
+
+Because every task re-derives its generator from the same entropy token in
+either mode, ``run_sweep(tasks, jobs=N)`` returns exactly the values of
+``run_sweep(tasks, jobs=1)`` — the property ``tests/test_parallel.py``
+asserts row-for-row on a real figure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import shutil
+import tempfile
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Optional
+
+from . import __version__
+
+__all__ = [
+    "SweepTask",
+    "SweepOutcome",
+    "SweepError",
+    "run_sweep",
+    "sweep_values",
+    "cache_key",
+    "cache_path",
+    "default_cache_dir",
+    "clear_cache",
+]
+
+#: Environment variable overriding the cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One unit of sweep work: a worker function plus plain-data arguments.
+
+    ``fn`` must be a **module-level** function (process pools pickle it by
+    reference) and is invoked as ``fn(seed_entropy, **kwargs)`` when
+    ``seed_entropy`` is set, else ``fn(**kwargs)``.  ``kwargs`` must be
+    plain picklable data — dataclass configs, numbers, strings — never live
+    simulator state or ``Generator`` objects.
+
+    ``experiment`` names the figure/study the task belongs to; it prefixes
+    the cache layout and failure reports.
+    """
+
+    fn: Callable[..., Any]
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    experiment: str = "sweep"
+    seed_entropy: Optional[int] = None
+
+    def describe(self) -> str:
+        """Human-readable identity used in failure reports."""
+        parts = [f"experiment={self.experiment!r}"]
+        if self.seed_entropy is not None:
+            parts.append(f"seed_entropy={self.seed_entropy}")
+        parts.append(f"fn={self.fn.__module__}.{self.fn.__qualname__}")
+        if self.kwargs:
+            rendered = ", ".join(f"{k}={v!r}" for k, v in sorted(self.kwargs.items()))
+            parts.append(f"kwargs({rendered})")
+        return " ".join(parts)
+
+
+@dataclass
+class SweepOutcome:
+    """Result slot for one task, in the original submission order."""
+
+    task: SweepTask
+    value: Any = None
+    #: formatted traceback when the worker raised; ``None`` on success
+    error: Optional[str] = None
+    #: True when the value came from the on-disk cache (no simulation ran)
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when the task produced a value (fresh or cached)."""
+        return self.error is None
+
+
+class SweepError(RuntimeError):
+    """One or more sweep tasks failed; carries every captured failure."""
+
+    def __init__(self, failures: list[tuple[int, SweepOutcome]]):
+        self.failures = failures
+        lines = [f"{len(failures)} sweep task(s) failed:"]
+        for index, outcome in failures:
+            lines.append(f"  task {index}: {outcome.task.describe()}")
+            last = (outcome.error or "").strip().splitlines()
+            if last:
+                lines.append(f"    {last[-1]}")
+        super().__init__("\n".join(lines))
+
+
+# ----------------------------------------------------------------------
+# Cache keying
+# ----------------------------------------------------------------------
+def _stable(value: Any) -> str:
+    """Deterministic, content-only encoding of a task argument.
+
+    Restricted on purpose: anything whose repr embeds memory addresses or
+    iteration order would silently poison the cache key, so unknown types
+    are rejected instead of guessed at.
+    """
+    if value is None or isinstance(value, (bool, int, str, bytes)):
+        return repr(value)
+    if isinstance(value, float):
+        return repr(value)  # round-trippable shortest repr
+    if isinstance(value, (list, tuple)):
+        inner = ",".join(_stable(v) for v in value)
+        return f"[{inner}]" if isinstance(value, list) else f"({inner})"
+    if isinstance(value, dict):
+        items = sorted((repr(k), _stable(v)) for k, v in value.items())
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = ",".join(
+            f"{f.name}={_stable(getattr(value, f.name))}"
+            for f in dataclasses.fields(value)
+        )
+        return f"{type(value).__qualname__}({fields})"
+    raise TypeError(
+        f"cannot build a deterministic cache key from {type(value).__qualname__}: "
+        "sweep task kwargs must be plain data (numbers, strings, containers, "
+        "dataclass configs)"
+    )
+
+
+def cache_key(task: SweepTask) -> str:
+    """Hex digest identifying one task's result.
+
+    Folds in the experiment id, the worker function's qualified name, the
+    seed entropy token, every kwarg, and the ``repro`` package version — so
+    a release that changes simulation behavior invalidates old entries
+    wholesale.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    for part in (
+        __version__,
+        task.experiment,
+        f"{task.fn.__module__}.{task.fn.__qualname__}",
+        repr(task.seed_entropy),
+        _stable(dict(task.kwargs)),
+    ):
+        hasher.update(part.encode())
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+def default_cache_dir() -> str:
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``.repro_cache/`` in the cwd."""
+    return os.environ.get(CACHE_DIR_ENV) or _DEFAULT_CACHE_DIR
+
+
+def cache_path(task: SweepTask, cache_dir: Optional[str] = None) -> str:
+    """On-disk location of one task's cached result."""
+    root = cache_dir if cache_dir is not None else default_cache_dir()
+    return os.path.join(root, task.experiment, cache_key(task) + ".pkl")
+
+
+def clear_cache(cache_dir: Optional[str] = None) -> bool:
+    """Delete the whole cache tree.  Returns True if anything was removed."""
+    root = cache_dir if cache_dir is not None else default_cache_dir()
+    if not os.path.isdir(root):
+        return False
+    shutil.rmtree(root)
+    return True
+
+
+def _cache_load(path: str) -> tuple[bool, Any]:
+    """(hit, value); corrupt or unreadable entries count as misses."""
+    try:
+        with open(path, "rb") as fh:
+            return True, pickle.load(fh)
+    except (OSError, pickle.PickleError, EOFError, AttributeError):
+        return False, None
+
+
+def _cache_store(path: str, value: Any) -> None:
+    """Atomic write (tmp + rename) so concurrent sweeps never see torn files."""
+    directory = os.path.dirname(path)
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _invoke(task: SweepTask) -> tuple[bool, Any]:
+    """Run one task, capturing any exception as a formatted traceback.
+
+    Module-level so process pools can pickle it by reference; the
+    ``(ok, payload)`` protocol keeps worker crashes from poisoning the pool.
+    """
+    try:
+        if task.seed_entropy is not None:
+            return True, task.fn(task.seed_entropy, **dict(task.kwargs))
+        return True, task.fn(**dict(task.kwargs))
+    except Exception:
+        return False, traceback.format_exc()
+
+
+def run_sweep(
+    tasks: Iterable[SweepTask],
+    jobs: int = 1,
+    cache: bool = True,
+    cache_dir: Optional[str] = None,
+) -> list[SweepOutcome]:
+    """Execute ``tasks``, fanning out across ``jobs`` worker processes.
+
+    Returns one :class:`SweepOutcome` per task **in submission order**, so
+    downstream collation (row building, averaging) is independent of worker
+    scheduling: ``jobs=N`` reproduces ``jobs=1`` bit-for-bit.
+
+    ``jobs=1`` runs everything in the calling process — the reference
+    executor (no pickling round-trip) that tests compare the pool against.
+    A worker exception is captured into the task's outcome (``.error``)
+    without disturbing sibling tasks; use :func:`sweep_values` to turn any
+    failure into a :class:`SweepError` naming the offending seed/config.
+    """
+    tasks = list(tasks)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    outcomes: list[Optional[SweepOutcome]] = [None] * len(tasks)
+
+    pending: list[int] = []
+    if cache:
+        for i, task in enumerate(tasks):
+            hit, value = _cache_load(cache_path(task, cache_dir))
+            if hit:
+                outcomes[i] = SweepOutcome(task=task, value=value, cached=True)
+            else:
+                pending.append(i)
+    else:
+        pending = list(range(len(tasks)))
+
+    if pending:
+        if jobs == 1 or len(pending) == 1:
+            results = [_invoke(tasks[i]) for i in pending]
+        else:
+            workers = min(jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                # Executor.map preserves input order, which is all the
+                # determinism the collation step needs.
+                results = list(pool.map(_invoke, (tasks[i] for i in pending)))
+        for i, (ok, payload) in zip(pending, results):
+            task = tasks[i]
+            if ok:
+                outcomes[i] = SweepOutcome(task=task, value=payload)
+                if cache:
+                    _cache_store(cache_path(task, cache_dir), payload)
+            else:
+                outcomes[i] = SweepOutcome(task=task, error=payload)
+
+    return outcomes  # type: ignore[return-value]
+
+
+def sweep_values(outcomes: list[SweepOutcome]) -> list[Any]:
+    """Values of a completed sweep, or :class:`SweepError` listing failures."""
+    failures = [(i, o) for i, o in enumerate(outcomes) if not o.ok]
+    if failures:
+        raise SweepError(failures)
+    return [o.value for o in outcomes]

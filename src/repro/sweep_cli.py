@@ -1,0 +1,130 @@
+"""``repro-sweep``: regenerate paper figures with the parallel executor.
+
+A thin front end over :mod:`repro.parallel`: each figure module already
+expresses its runs as sweep tasks, so this command only picks figure ids,
+a worker count, and cache policy::
+
+    repro-sweep fig05 --jobs 4          # fan fig05's runs over 4 processes
+    repro-sweep all                     # every figure, serial, cached
+    repro-sweep fig11 fig12 --no-cache  # force fresh simulations
+    repro-sweep --clear-cache           # drop .repro_cache/
+
+Results are row-identical to ``repro-pathload figure`` (the serial path);
+see docs/performance.md for the determinism and caching contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Optional, Sequence
+
+__all__ = ["main"]
+
+
+def _default_jobs() -> int:
+    return os.cpu_count() or 1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep",
+        description=(
+            "Regenerate paper figures by fanning their independent "
+            "(operating point, seed) runs across worker processes, with a "
+            "deterministic on-disk result cache."
+        ),
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        metavar="FIGURE",
+        help="figure ids (e.g. fig05 fig11), or 'all' for every figure",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=_default_jobs(),
+        help="worker processes (default: all cores; 1 = serial reference)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the result cache (neither read nor write it)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="cache location (default: $REPRO_CACHE_DIR or .repro_cache/)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available figure ids"
+    )
+    parser.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="delete the cache tree and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.cache_dir:
+        # the figure modules resolve the cache root through the environment
+        from .parallel import CACHE_DIR_ENV
+
+        os.environ[CACHE_DIR_ENV] = args.cache_dir
+
+    if args.clear_cache:
+        from .parallel import clear_cache, default_cache_dir
+
+        removed = clear_cache()
+        root = default_cache_dir()
+        print(f"cache {root}: {'removed' if removed else 'already empty'}")
+        return 0
+
+    from .experiments import REGISTRY
+
+    if args.list or not args.ids:
+        for key in REGISTRY:
+            print(key)
+        return 0
+
+    ids = list(REGISTRY) if args.ids == ["all"] else args.ids
+    unknown = [i for i in ids if i not in REGISTRY]
+    if unknown:
+        print(
+            f"unknown figure(s): {', '.join(unknown)}; "
+            f"available: {', '.join(REGISTRY)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+
+    for key in ids:
+        run_fn = REGISTRY[key]
+        # Wall-clock here times the *host* executing simulations — the
+        # sweep's own cost, never a simulated quantity.
+        t0 = time.perf_counter()  # simlint: disable=SIM001 -- host-side sweep timing, outside the simulation
+        result = run_fn(jobs=args.jobs, cache=not args.no_cache)
+        elapsed = time.perf_counter() - t0  # simlint: disable=SIM001 -- host-side sweep timing, outside the simulation
+        result.print_table()
+        print(
+            f"[{key}] jobs={args.jobs} "
+            f"cache={'off' if args.no_cache else 'on'} "
+            f"wall={elapsed:.1f}s",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Shared test fixtures.
+
+The sweep executor's on-disk cache (``repro.parallel``) defaults to
+``.repro_cache/`` in the working directory.  Tests must never read or
+populate that shared location — a stale entry from an earlier checkout
+would mask the very code under test — so every test session gets its own
+throwaway cache root.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_sweep_cache(tmp_path_factory):
+    from repro.parallel import CACHE_DIR_ENV
+
+    root = tmp_path_factory.mktemp("repro_cache")
+    mp = pytest.MonkeyPatch()
+    mp.setenv(CACHE_DIR_ENV, str(root))
+    yield
+    mp.undo()

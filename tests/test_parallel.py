@@ -1,0 +1,249 @@
+"""Tests for :mod:`repro.parallel`: the sweep executor and its cache.
+
+The contract under test, in order of importance:
+
+1. a process pool reproduces the serial reference bit-for-bit on a real
+   figure (fig05 at reduced scale);
+2. one crashed worker reports its seed/config without losing siblings;
+3. a cache hit returns the stored value without re-simulating;
+4. the integer seed-entropy tokens reconstruct exactly the generators
+   ``SeedSequence.spawn`` would have produced (serial streams unchanged).
+"""
+
+import numpy as np
+import pytest
+
+from repro.campaign import CampaignResult, CampaignSample
+from repro.core.pathload import PathloadReport
+from repro.experiments import fig05_load
+from repro.experiments.base import (
+    Scale,
+    rng_from_entropy,
+    spawn_seed_entropy,
+    spawn_seeds,
+)
+from repro.parallel import (
+    SweepError,
+    SweepTask,
+    cache_key,
+    run_sweep,
+    sweep_values,
+)
+
+# ----------------------------------------------------------------------
+# Module-level workers (process pools pickle them by reference)
+# ----------------------------------------------------------------------
+
+
+def _square(seed_entropy, offset=0):
+    return seed_entropy * seed_entropy + offset
+
+
+def _boom(seed_entropy):
+    raise ValueError(f"boom at {seed_entropy}")
+
+
+_CALLS = {"n": 0}
+
+
+def _counting(seed_entropy):
+    _CALLS["n"] += 1
+    return seed_entropy + 1
+
+
+# ----------------------------------------------------------------------
+# Seed entropy tokens
+# ----------------------------------------------------------------------
+
+
+class TestSeedEntropy:
+    def test_tokens_pack_master_and_index(self):
+        assert spawn_seed_entropy(7, 3) == [(7 << 32) | i for i in range(3)]
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ValueError):
+            spawn_seed_entropy(-1, 2)
+        with pytest.raises(ValueError):
+            spawn_seed_entropy(1, -2)
+
+    def test_matches_seedsequence_spawn(self):
+        """The streams must equal SeedSequence(master).spawn(n) exactly —
+        this is what keeps every pre-existing serial experiment's sample
+        path unchanged."""
+        master, n = 1234, 5
+        reference = [
+            np.random.default_rng(child)
+            for child in np.random.SeedSequence(master).spawn(n)
+        ]
+        for ref, got in zip(reference, spawn_seeds(master, n)):
+            assert ref.random(8).tolist() == got.random(8).tolist()
+
+    def test_token_reconstructs_stream_across_boundary(self):
+        master, n = 99, 4
+        reference = [
+            np.random.default_rng(child)
+            for child in np.random.SeedSequence(master).spawn(n)
+        ]
+        for token, ref in zip(spawn_seed_entropy(master, n), reference):
+            assert rng_from_entropy(token).random(8).tolist() == ref.random(8).tolist()
+
+
+# ----------------------------------------------------------------------
+# Pool-vs-serial equality on a real figure
+# ----------------------------------------------------------------------
+
+
+class TestPoolMatchesSerial:
+    def test_fig05_rows_identical(self):
+        scale = Scale(runs=1, interval=10.0, full=False)
+        serial = fig05_load.run(scale=scale, jobs=1, cache=False)
+        pooled = fig05_load.run(scale=scale, jobs=2, cache=False)
+        assert pooled.rows == serial.rows
+
+
+# ----------------------------------------------------------------------
+# Failure capture
+# ----------------------------------------------------------------------
+
+
+class TestFailureCapture:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_crash_keeps_siblings_and_names_offender(self, jobs):
+        tasks = [
+            SweepTask(fn=_square, seed_entropy=3, experiment="unit"),
+            SweepTask(fn=_boom, seed_entropy=7, experiment="unit"),
+            SweepTask(fn=_square, seed_entropy=5, experiment="unit"),
+        ]
+        outcomes = run_sweep(tasks, jobs=jobs, cache=False)
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert outcomes[0].value == 9
+        assert outcomes[2].value == 25
+        assert "boom at 7" in outcomes[1].error
+        with pytest.raises(SweepError) as excinfo:
+            sweep_values(outcomes)
+        message = str(excinfo.value)
+        assert "seed_entropy=7" in message
+        assert "experiment='unit'" in message
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep([SweepTask(fn=_square, seed_entropy=1)], jobs=0)
+
+
+# ----------------------------------------------------------------------
+# Result cache
+# ----------------------------------------------------------------------
+
+
+class TestCache:
+    def test_hit_skips_execution(self, tmp_path):
+        tasks = [
+            SweepTask(fn=_counting, seed_entropy=e, experiment="unit")
+            for e in (10, 11)
+        ]
+        _CALLS["n"] = 0
+        first = run_sweep(tasks, jobs=1, cache=True, cache_dir=str(tmp_path))
+        assert _CALLS["n"] == 2
+        assert [o.cached for o in first] == [False, False]
+
+        second = run_sweep(tasks, jobs=1, cache=True, cache_dir=str(tmp_path))
+        assert _CALLS["n"] == 2  # nothing re-ran
+        assert [o.cached for o in second] == [True, True]
+        assert sweep_values(second) == sweep_values(first)
+
+    def test_no_cache_reexecutes(self, tmp_path):
+        task = SweepTask(fn=_counting, seed_entropy=20, experiment="unit")
+        _CALLS["n"] = 0
+        run_sweep([task], jobs=1, cache=True, cache_dir=str(tmp_path))
+        run_sweep([task], jobs=1, cache=False, cache_dir=str(tmp_path))
+        assert _CALLS["n"] == 2
+
+    def test_key_separates_tasks(self):
+        base = SweepTask(fn=_square, seed_entropy=1, experiment="unit")
+        assert cache_key(base) == cache_key(
+            SweepTask(fn=_square, seed_entropy=1, experiment="unit")
+        )
+        for other in (
+            SweepTask(fn=_square, seed_entropy=2, experiment="unit"),
+            SweepTask(fn=_square, seed_entropy=1, experiment="other"),
+            SweepTask(
+                fn=_square, seed_entropy=1, experiment="unit", kwargs={"offset": 1}
+            ),
+            SweepTask(fn=_counting, seed_entropy=1, experiment="unit"),
+        ):
+            assert cache_key(other) != cache_key(base)
+
+    def test_key_rejects_unstable_kwargs(self):
+        task = SweepTask(
+            fn=_square, seed_entropy=1, kwargs={"bad": object()}, experiment="unit"
+        )
+        with pytest.raises(TypeError):
+            cache_key(task)
+
+
+# ----------------------------------------------------------------------
+# coverage_fraction bisect rewrite
+# ----------------------------------------------------------------------
+
+
+def _campaign_sample(t_start, t_end, low_bps, high_bps):
+    report = PathloadReport(
+        low_bps=low_bps,
+        high_bps=high_bps,
+        grey_low_bps=None,
+        grey_high_bps=None,
+        termination="converged",
+    )
+    return CampaignSample(t_start=t_start, t_end=t_end, report=report)
+
+
+class TestCoverageFraction:
+    def _brute_force(self, result, slack_bps):
+        """The O(S*M) scan coverage_fraction replaced."""
+        hits = 0
+        for sample in result.samples:
+            mid = (sample.t_start + sample.t_end) / 2.0
+            truth = min(result.monitor_series, key=lambda p: abs(p[0] - mid))[1]
+            if (
+                sample.report.low_bps - slack_bps
+                <= truth
+                <= sample.report.high_bps + slack_bps
+            ):
+                hits += 1
+        return hits / len(result.samples)
+
+    def test_matches_bruteforce_on_random_series(self):
+        rng = np.random.default_rng(3)
+        times = np.sort(rng.uniform(0.0, 100.0, size=40))
+        values = rng.uniform(1e6, 9e6, size=40)
+        monitor = [(float(t), float(v)) for t, v in zip(times, values)]
+        samples = []
+        for _ in range(60):
+            # midpoints land inside, before, and after the monitored span
+            t0 = float(rng.uniform(-10.0, 110.0))
+            t1 = t0 + float(rng.uniform(0.1, 20.0))
+            low = float(rng.uniform(0.5e6, 5e6))
+            samples.append(
+                _campaign_sample(t0, t1, low, low + float(rng.uniform(0.0, 4e6)))
+            )
+        result = CampaignResult(samples=samples, monitor_series=monitor)
+        for slack in (0.0, 5e5):
+            assert result.coverage_fraction(slack) == self._brute_force(result, slack)
+
+    def test_exact_tie_picks_earlier_window(self):
+        # midpoint 15 is equidistant from windows at t=10 (covering) and
+        # t=20 (not); min() picked the first, i.e. the earlier one.
+        monitor = [(10.0, 5e6), (20.0, 9e6)]
+        samples = [_campaign_sample(14.0, 16.0, 4e6, 6e6)]
+        result = CampaignResult(samples=samples, monitor_series=monitor)
+        assert result.coverage_fraction() == 1.0
+
+    def test_unsorted_monitor_series(self):
+        monitor = [(30.0, 9e6), (10.0, 5e6), (20.0, 7e6)]
+        samples = [_campaign_sample(9.0, 13.0, 4e6, 6e6)]
+        result = CampaignResult(samples=samples, monitor_series=monitor)
+        assert result.coverage_fraction() == self._brute_force(result, 0.0)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignResult(samples=[], monitor_series=[]).coverage_fraction()
