@@ -10,6 +10,7 @@ simulations and Internet testbeds: a virtual-time kernel
 (:mod:`~repro.netsim.clock`).
 """
 
+from .bulkarrivals import CrossAggregator
 from .clock import Clock, NoisyClock, OffsetClock, PerfectClock, SkewedClock
 from .crosstraffic import (
     PAPER_PACKET_MIX,
@@ -37,6 +38,7 @@ from .topologies import (
 
 __all__ = [
     "Clock",
+    "CrossAggregator",
     "CrossTrafficSource",
     "Event",
     "Fig4Config",

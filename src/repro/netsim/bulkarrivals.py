@@ -1,0 +1,270 @@
+"""Batched cross-traffic arrivals: the event-elided data path.
+
+Open-loop background traffic dominates the event budget of every
+experiment: at the paper's operating points (ten Pareto sources per hop,
+441 B mean packets) cross packets outnumber probe packets by well over an
+order of magnitude, yet each one used to pay two heap operations and two
+Python callback dispatches just to nudge a FIFO backlog that only
+probe/TCP packets and monitors ever read.
+
+This module removes those per-packet events.  Each bulk-eligible
+:class:`~repro.netsim.crosstraffic.CrossTrafficSource` converts its
+refill buffer into absolute arrival-time/size arrays (a cumulative sum
+over the very same gap draws, RNG chunk order untouched) and registers
+them with its link's :class:`CrossAggregator`.  The aggregator k-way
+merges the link's sources in time order into one flat admission queue and
+keeps exactly **one scheduled event per refill horizon** — the instant
+the slowest source's buffer runs out — instead of one per packet.  The
+owning :class:`~repro.netsim.link.Link` folds merged arrivals into its
+transmitter/backlog ledger lazily, at its sync points (foreground
+``send()``, backlog/queueing-delay reads, stats access), so foreground
+packets observe exactly the queue state the per-packet path would have
+produced.
+
+Determinism contract
+--------------------
+The merged arrival sequence is byte-for-byte the sequence the per-packet
+path generates: arrival times are the identical floating-point sums
+(``t += gap`` mirrors ``Simulator.schedule(gap, ...)``), sizes come from
+the same RNG draws in the same chunk order, and same-timestamp arrivals
+merge in source-registration order (the per-packet path orders exact ties
+by event insertion; with continuous interarrival draws such ties have
+probability zero).  See ``docs/performance.md`` for the full contract and
+the fallback conditions.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .crosstraffic import CrossTrafficSource
+    from .engine import Simulator
+    from .link import Link
+
+__all__ = ["CrossAggregator"]
+
+#: Consumed-prefix length beyond which the merged arrays are compacted.
+_COMPACT_THRESHOLD = 16384
+
+
+class _Feed:
+    """One source's buffered future arrivals (absolute times, sizes)."""
+
+    __slots__ = ("source", "times", "sizes", "done", "order")
+
+    def __init__(self, source: "CrossTrafficSource", order: int):
+        self.source = source
+        self.times: list[float] = []
+        self.sizes: list[int] = []
+        self.done = False  # True once the source's stop time truncated a batch
+        self.order = order  # registration order, breaks exact-time ties
+
+
+class CrossAggregator:
+    """Per-link k-way merger of bulk cross-traffic sources.
+
+    The aggregator owns the link's flat admission queue (``times`` /
+    ``sizes`` / ``owners``, consumed by :meth:`Link.sync` via ``idx``) and
+    the single refill-horizon event that extends it.  Entries are merged
+    only up to the *safe horizon* — the earliest last-buffered time over
+    all still-active sources — so a source refilling later can never
+    insert an arrival behind one already merged.
+    """
+
+    __slots__ = (
+        "sim",
+        "link",
+        "feeds",
+        "times",
+        "sizes",
+        "owners",
+        "idx",
+        "_event",
+        "_merge_pending",
+    )
+
+    def __init__(self, sim: "Simulator", link: "Link"):
+        self.sim = sim
+        self.link = link
+        self.feeds: list[_Feed] = []
+        #: merged admission queue; ``idx`` is the first not-yet-admitted entry
+        self.times: list[float] = []
+        self.sizes: list[int] = []
+        self.owners: list["CrossTrafficSource"] = []
+        self.idx = 0
+        self._event = None  # pending refill-horizon ScheduledCall
+        self._merge_pending = False  # a coalescing merge event is queued
+
+    @classmethod
+    def attach(cls, sim: "Simulator", link: "Link") -> "CrossAggregator":
+        """Get or create the aggregator bound to ``link``."""
+        agg = link._agg
+        if agg is None:
+            agg = cls(sim, link)
+            link._agg = agg
+        return agg
+
+    # ------------------------------------------------------------------
+    # Source registration
+    # ------------------------------------------------------------------
+    def register(self, source: "CrossTrafficSource") -> _Feed:
+        """Add a bulk source and fold it into the merged queue.
+
+        Unadmitted merged entries are first rolled back into their feeds
+        so that a source registered mid-run cannot see its early arrivals
+        ordered behind other sources' already-merged later ones.  The
+        actual merge is deferred to a zero-delay event so the paper's
+        "ten sources per link" attach pattern merges once, not ten times
+        (every source's first arrival lies strictly after registration,
+        so no arrival can come due before that event runs).
+        """
+        self._unmerge()
+        feed = _Feed(source, order=len(self.feeds))
+        self.feeds.append(feed)
+        if not self._merge_pending:
+            self._merge_pending = True
+            self.sim.schedule(0.0, self._deferred_merge)
+        return feed
+
+    def _deferred_merge(self) -> None:
+        self._merge_pending = False
+        self._merge()
+
+    def _unmerge(self) -> None:
+        """Return unadmitted merged entries to their feeds (rare path)."""
+        times, sizes, owners, idx = self.times, self.sizes, self.owners, self.idx
+        if idx >= len(times):
+            del times[:], sizes[:], owners[:]
+            self.idx = 0
+            return
+        rollback: dict[_Feed, tuple[list[float], list[int]]] = {
+            feed: ([], []) for feed in self.feeds
+        }
+        for i in range(idx, len(times)):
+            feed = owners[i]._feed
+            ts, ss = rollback[feed]
+            ts.append(times[i])
+            ss.append(sizes[i])
+        for feed, (ts, ss) in rollback.items():
+            if ts:
+                feed.times[:0] = ts
+                feed.sizes[:0] = ss
+        del times[:], sizes[:], owners[:]
+        self.idx = 0
+
+    # ------------------------------------------------------------------
+    # Merge machinery
+    # ------------------------------------------------------------------
+    def _merge(self) -> None:
+        """Merge feed entries up to the safe horizon; reschedule the event.
+
+        The merge is a stable argsort over the feeds' due prefixes,
+        concatenated in registration order: sort stability then orders
+        exact-time ties by registration, the same tie-break a (time,
+        order)-keyed heap would apply — and the vectorized sort is an
+        order of magnitude cheaper than per-entry heap operations.
+        """
+        for feed in self.feeds:
+            if not feed.done and not feed.times:
+                feed.source._bulk_fill(feed)
+        horizons = [feed.times[-1] for feed in self.feeds if not feed.done]
+        safe = min(horizons) if horizons else math.inf
+        parts_t: list[np.ndarray] = []
+        parts_s: list[np.ndarray] = []
+        part_feeds: list[_Feed] = []
+        times, sizes, owners = self.times, self.sizes, self.owners
+        for feed in self.feeds:
+            if feed.times and feed.times[0] <= safe:
+                cut = bisect.bisect_right(feed.times, safe)
+                parts_t.append(np.asarray(feed.times[:cut], dtype=np.float64))
+                parts_s.append(np.asarray(feed.sizes[:cut], dtype=np.int64))
+                part_feeds.append(feed)
+                del feed.times[:cut]
+                del feed.sizes[:cut]
+        if len(parts_t) == 1:
+            # Single contributing source (single-source links, and every
+            # horizon where only the binding feed refilled past the others'
+            # heads): splice its due prefix wholesale, no sort.
+            times.extend(parts_t[0].tolist())
+            sizes.extend(parts_s[0].tolist())
+            owners.extend([part_feeds[0].source] * len(parts_s[0]))
+        elif parts_t:
+            cat_t = np.concatenate(parts_t)
+            order = np.argsort(cat_t, kind="stable")
+            times.extend(cat_t[order].tolist())
+            sizes.extend(np.concatenate(parts_s)[order].tolist())
+            feed_idx = np.concatenate(
+                [np.full(len(p), i, dtype=np.intp) for i, p in enumerate(parts_t)]
+            )[order]
+            srcs = [feed.source for feed in part_feeds]
+            owners.extend(srcs[i] for i in feed_idx.tolist())
+        self._reschedule(safe if horizons else None)
+
+    def _reschedule(self, safe: Optional[float]) -> None:
+        """Point the single refill-horizon event at ``safe`` (None: none)."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        if safe is not None:
+            self._event = self.sim.schedule_at(safe, self._extend)
+
+    def _extend(self) -> None:
+        """Refill-horizon event: generate the next batches and re-merge."""
+        self._event = None
+        self._merge()
+
+    # ------------------------------------------------------------------
+    # Fold support / teardown
+    # ------------------------------------------------------------------
+    def compact(self) -> None:
+        """Trim the consumed prefix of the merged arrays (amortized O(1))."""
+        idx = self.idx
+        if idx > _COMPACT_THRESHOLD:
+            del self.times[:idx]
+            del self.sizes[:idx]
+            del self.owners[:idx]
+            self.idx = 0
+
+    def release(self) -> None:
+        """Hand every source back to the per-packet path.
+
+        Called by the link when it stops being bulk-eligible (a qdisc,
+        drop hook, or delivery callback was installed mid-run).  Due
+        arrivals must already have been folded by the caller; the
+        remaining future arrivals — the unadmitted merged tail plus each
+        feed's unmerged buffer — are returned to their sources, which
+        replay them as ordinary scheduled events.  The sample path is
+        unchanged: times and sizes are exactly the ones the per-packet
+        path would have produced.
+        """
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        pending: dict[_Feed, tuple[list[float], list[int]]] = {
+            feed: ([], []) for feed in self.feeds
+        }
+        times, sizes, owners = self.times, self.sizes, self.owners
+        for i in range(self.idx, len(times)):
+            feed = owners[i]._feed
+            ts, ss = pending[feed]
+            ts.append(times[i])
+            ss.append(sizes[i])
+        del times[:], sizes[:], owners[:]
+        self.idx = 0
+        feeds, self.feeds = self.feeds, []
+        for feed in feeds:
+            ts, ss = pending[feed]
+            ts.extend(feed.times)
+            ss.extend(feed.sizes)
+            feed.source._resume_per_packet(ts, ss, feed.done)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CrossAggregator link={self.link.name} sources={len(self.feeds)} "
+            f"pending={len(self.times) - self.idx}>"
+        )

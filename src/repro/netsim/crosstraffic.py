@@ -13,17 +13,34 @@ This module reproduces that workload:
 * :class:`CrossTrafficSource` — one renewal-process source feeding one link;
 * :func:`attach_cross_traffic` — the paper's "ten sources per link" helper.
 
-For performance, each source draws interarrivals and sizes in vectorized
-numpy batches and walks through them with an index, so steady-state cost is
-one heap event plus O(1) Python work per packet.
+Two data paths deliver the packets to the link, chosen automatically per
+source:
+
+* **Bulk (default when eligible).**  Each 4096-sample refill is converted
+  into absolute arrival-time/size arrays — a cumulative sum over the very
+  same vectorized gap draws, RNG chunk order untouched — and registered
+  with the link's :class:`~repro.netsim.bulkarrivals.CrossAggregator`.
+  The link folds the merged arrivals into its queue state lazily at its
+  sync points, so open-loop background load costs **zero scheduler events
+  per packet** (one per refill horizon), while every foreground packet
+  observes a bit-identical queue.
+* **Per-packet (fallback).**  One heap event plus O(1) Python work per
+  packet.  Engaged automatically when the sample path could depend on
+  per-packet interaction: a *modulated* source (rate draws interleave with
+  refills in sim time), or a link with a ``qdisc`` (AQM must see every
+  packet), a ``drop_hook``, or a rebound delivery callback (taps must see
+  every packet).  ``bulk=False`` forces this path, e.g. for equivalence
+  tests.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Optional, Sequence
 
 import numpy as np
 
+from .bulkarrivals import CrossAggregator
 from .engine import Simulator
 from .link import Link
 from .packet import Packet, PacketKind
@@ -107,6 +124,17 @@ class CrossTrafficSource:
         load on top of the packet-scale burstiness — without it, the
         avail-bw process is stationary at every timescale, which real paths
         (Section VI) are not.  The long-run average rate stays ``rate_bps``.
+        A modulated source always uses the per-packet path.
+    bulk:
+        ``None`` (default) selects the event-elided bulk path whenever the
+        source and link are eligible; ``False`` forces the per-packet
+        path; ``True`` requests bulk but still falls back when ineligible.
+
+    ``packets_sent`` / ``bytes_sent`` count packets *offered to the link*
+    (admitted to its queue or dropped by it).  On the bulk path they
+    advance as arrivals are folded, and reading either property folds the
+    link first — so any consistent read point sees the same values the
+    per-packet path would report.
     """
 
     def __init__(
@@ -123,6 +151,7 @@ class CrossTrafficSource:
         stop: Optional[float] = None,
         name: str = "cross",
         modulation: Optional[tuple[float, float]] = None,
+        bulk: Optional[bool] = None,
     ):
         if rate_bps < 0:
             raise ValueError(f"rate must be >= 0, got {rate_bps}")
@@ -140,8 +169,8 @@ class CrossTrafficSource:
         self.mix = mix if mix is not None else PacketMix()
         self.stop = stop
         self.name = name
-        self.packets_sent = 0
-        self.bytes_sent = 0
+        self._packets_sent = 0
+        self._bytes_sent = 0
         # Refilled in vectorized batches, then walked as plain Python lists:
         # indexing an ndarray yields numpy scalars, whose arithmetic in the
         # per-packet path is several times slower than float/int.
@@ -156,6 +185,16 @@ class CrossTrafficSource:
         )
         self._mod_factor = 1.0
         self.modulation = modulation
+        # Bulk-path state (see _bulk_fill / _resume_per_packet).
+        self._feed = None
+        self._bulk_clock = float(start)
+        self._bulk_first = True
+        self._gen_packets = 0  # arrivals generated into the bulk pipeline
+        self._gen_bytes = 0
+        self._tail_times: list[float] = []
+        self._tail_sizes: list[int] = []
+        self._tail_idx = 0
+        self._tail_exhausted = False
         if modulation is not None:
             interval, sigma = modulation
             if interval <= 0 or sigma < 0:
@@ -164,8 +203,70 @@ class CrossTrafficSource:
                 )
             sim.schedule_at(start, self._modulate)
         if rate_bps > 0:
-            first_gap = self._warmup_offset()
-            sim.schedule_at(start + first_gap, self._arrival)
+            if bulk is not False and self._bulk_eligible():
+                self._feed = CrossAggregator.attach(sim, link).register(self)
+            else:
+                first_gap = self._warmup_offset()
+                sim.schedule_at(start + first_gap, self._arrival)
+
+    @property
+    def is_bulk(self) -> bool:
+        """True while this source feeds the link via the event-elided path."""
+        return self._feed is not None
+
+    @property
+    def packets_sent(self) -> int:
+        """Packets offered to the link so far (reading folds bulk arrivals)."""
+        if self._feed is not None:
+            return self._gen_packets - self._pending_counts()[0]
+        return self._packets_sent
+
+    @property
+    def bytes_sent(self) -> int:
+        """Bytes offered to the link so far (reading folds bulk arrivals)."""
+        if self._feed is not None:
+            return self._gen_bytes - self._pending_counts()[1]
+        return self._bytes_sent
+
+    def _pending_counts(self) -> tuple[int, int]:
+        """(packets, bytes) generated but not yet offered to the link.
+
+        The fold loop deliberately does no per-source bookkeeping; a
+        counter read instead folds due arrivals and subtracts what is
+        still pending — this source's share of the aggregator's merged
+        tail plus its own unmerged feed buffer.  Reads are rare (tests,
+        end-of-run accounting); folds are the hot path.
+        """
+        self.link.sync()
+        feed = self._feed
+        n = len(feed.sizes)
+        nbytes = sum(feed.sizes)
+        agg = self.link._agg
+        if agg is not None:
+            owners, sizes = agg.owners, agg.sizes
+            for i in range(agg.idx, len(owners)):
+                if owners[i] is self:
+                    n += 1
+                    nbytes += sizes[i]
+        return n, nbytes
+
+    def _bulk_eligible(self) -> bool:
+        """Whether the event-elided path reproduces this source exactly.
+
+        Three things disqualify a source: *modulation* (rate-factor draws
+        interleave with refills in sim time, so precomputing a batch would
+        permute the RNG stream), a link *qdisc* or *drop_hook* (both must
+        observe every packet), and a link whose delivery callback is not
+        the owning network's forwarding routine (a tap or custom handler
+        must see every cross packet exit).
+        """
+        link = self.link
+        return (
+            self.modulation is None
+            and link.qdisc is None
+            and link.drop_hook is None
+            and link.deliver == self.network._advance
+        )
 
     def _warmup_offset(self) -> float:
         """Randomize the first arrival so sources are not phase-aligned."""
@@ -198,22 +299,29 @@ class CrossTrafficSource:
         self._sizes = sizes
         self._idx = 0
 
-    def _next_gap(self) -> float:
-        if self._idx >= len(self._gaps):
+    def _ensure_buffered(self) -> None:
+        """Refill once the current batch is exhausted (shared by the gap and
+        size readers — the single refill-exhaustion check)."""
+        if self._idx >= len(self._sizes):
             self._refill()
+
+    def _next_gap(self) -> float:
+        self._ensure_buffered()
         return self._gaps[self._idx]
 
+    # ------------------------------------------------------------------
+    # Per-packet data path
+    # ------------------------------------------------------------------
     def _arrival(self) -> None:
         now = self.sim.now
         if self.stop is not None and now >= self.stop:
             return
-        if self._idx >= len(self._sizes):
-            self._refill()
+        self._ensure_buffered()
         size = self._sizes[self._idx]
         pkt = Packet(size, flow_id=self.name, kind=PacketKind.CROSS)
         self.network.inject_at(self.link, pkt)
-        self.packets_sent += 1
-        self.bytes_sent += size
+        self._packets_sent += 1
+        self._bytes_sent += size
         self._idx += 1
         self.sim.schedule(self._next_gap() / self._mod_factor, self._arrival)
 
@@ -227,6 +335,106 @@ class CrossTrafficSource:
         log_factor += float(self.rng.normal(0.0, sigma))
         self._mod_factor = float(np.clip(np.exp(log_factor), 0.25, 2.5))
         self.sim.schedule(interval, self._modulate)
+
+    # ------------------------------------------------------------------
+    # Bulk data path
+    # ------------------------------------------------------------------
+    def _bulk_fill(self, feed) -> None:
+        """Append one refill horizon of absolute arrivals to ``feed``.
+
+        The arrival times are the identical floating-point sums the
+        per-packet path computes: ``Simulator.schedule(gap, ...)`` adds
+        ``gap`` to the current arrival's timestamp, and so does the
+        running ``t += gap`` here.  RNG consumption order — warmup draw,
+        then alternating gap/size chunks per refill — is byte-identical.
+        """
+        skip_first_gap = False
+        if self._bulk_first:
+            self._bulk_first = False
+            if self.model == "cbr":
+                # Mirrors _warmup_offset: the uniform phase offset replaces
+                # the first buffered gap (which the per-packet path never
+                # consumes for cbr either).
+                self._bulk_clock += float(self.rng.uniform(0.0, self.mean_gap))
+                skip_first_gap = True
+        self._refill()
+        gaps = self._gaps
+        sizes = self._sizes
+        self._idx = len(sizes)  # the whole batch is consumed by this horizon
+        # np.add.accumulate rounds left-to-right, one addition per element —
+        # bit-identical to the per-packet path's running ``t += gap``.
+        acc = np.empty(len(gaps) + (0 if skip_first_gap else 1), dtype=np.float64)
+        acc[0] = self._bulk_clock
+        acc[1:] = gaps[1:] if skip_first_gap else gaps
+        times = np.add.accumulate(acc).tolist()
+        if not skip_first_gap:
+            del times[0]
+        self._bulk_clock = times[-1]
+        stop = self.stop
+        if stop is not None and times and times[-1] >= stop:
+            # The per-packet path returns (without rescheduling) at the
+            # first arrival >= stop; truncate there and finish the feed.
+            keep = bisect_left(times, stop)
+            del times[keep:]
+            sizes = sizes[:keep]
+            feed.done = True
+        self._gen_packets += len(times)
+        self._gen_bytes += sum(sizes)
+        feed.times.extend(times)
+        feed.sizes.extend(sizes)
+
+    def _resume_per_packet(
+        self, times: list[float], sizes: list[int], exhausted: bool
+    ) -> None:
+        """Switch back to the per-packet path (bulk decommissioning).
+
+        ``times``/``sizes`` are this source's not-yet-admitted future
+        arrivals, exactly as the per-packet path would have generated
+        them; they are replayed as ordinary scheduled events.  Once the
+        tail drains, generation continues from the next RNG refill —
+        the same stream position the per-packet path would have reached.
+        """
+        self._feed = None
+        # Everything generated minus the returned tail has been folded into
+        # the link; resume the eager per-packet counters from there.
+        self._packets_sent = self._gen_packets - len(times)
+        self._bytes_sent = self._gen_bytes - sum(sizes)
+        self._tail_times = times
+        self._tail_sizes = sizes
+        self._tail_idx = 0
+        self._tail_exhausted = exhausted
+        if times:
+            self.sim.schedule_at(times[0], self._tail_arrival)
+        elif not exhausted:
+            if self._bulk_first:
+                # Decommissioned before the first batch was ever generated:
+                # start exactly as the per-packet constructor would have.
+                self._bulk_first = False
+                first_gap = self._warmup_offset()
+                self.sim.schedule_at(self._bulk_clock + first_gap, self._arrival)
+            else:
+                self.sim.schedule_at(
+                    self._bulk_clock + self._next_gap() / self._mod_factor,
+                    self._arrival,
+                )
+
+    def _tail_arrival(self) -> None:
+        now = self.sim.now
+        if self.stop is not None and now >= self.stop:
+            return
+        i = self._tail_idx
+        size = self._tail_sizes[i]
+        pkt = Packet(size, flow_id=self.name, kind=PacketKind.CROSS)
+        self.network.inject_at(self.link, pkt)
+        self._packets_sent += 1
+        self._bytes_sent += size
+        self._tail_idx = i = i + 1
+        if i < len(self._tail_times):
+            self.sim.schedule_at(self._tail_times[i], self._tail_arrival)
+        elif not self._tail_exhausted:
+            self._tail_times = []
+            self._tail_sizes = []
+            self.sim.schedule(self._next_gap() / self._mod_factor, self._arrival)
 
 
 def attach_cross_traffic(
@@ -242,12 +450,14 @@ def attach_cross_traffic(
     start: float = 0.0,
     stop: Optional[float] = None,
     modulation: Optional[tuple[float, float]] = None,
+    bulk: Optional[bool] = None,
 ) -> list[CrossTrafficSource]:
     """Attach the paper's per-link workload: ``n_sources`` independent sources.
 
     The aggregate offered load is ``rate_bps``, split evenly; each source
     gets an independent RNG stream spawned from ``rng`` so that changing one
-    source's draws cannot perturb another's.
+    source's draws cannot perturb another's.  ``bulk`` selects the data
+    path per source (see :class:`CrossTrafficSource`).
     """
     if n_sources <= 0:
         raise ValueError(f"n_sources must be positive, got {n_sources}")
@@ -266,6 +476,7 @@ def attach_cross_traffic(
             stop=stop,
             name=f"cross-{link.name}-{i}",
             modulation=modulation,
+            bulk=bulk,
         )
         for i, child in enumerate(children)
     ]

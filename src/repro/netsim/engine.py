@@ -173,11 +173,29 @@ class Process:
         return not self._terminated
 
     def interrupt(self, exc: Optional[BaseException] = None) -> None:
-        """Throw ``exc`` (default :class:`GeneratorExit`) into the process."""
+        """Throw ``exc`` (default :class:`GeneratorExit`) into the process.
+
+        The process's :attr:`done_event` always triggers — a parent doing
+        ``result = yield child`` resumes (with the interrupted child's
+        return value if it caught the exception and returned, else
+        ``None``) instead of deadlocking.  If the generator lets ``exc``
+        propagate, it is re-raised to the caller after the done event has
+        fired.
+        """
         if self._terminated:
             return
         self._terminated = True
-        self._gen.close() if exc is None else self._gen.throw(exc)
+        value: Any = None
+        try:
+            if exc is None:
+                self._gen.close()
+            else:
+                try:
+                    self._gen.throw(exc)
+                except StopIteration as stop:
+                    value = stop.value
+        finally:
+            self.done_event.trigger_if_pending(value)
 
     def add_callback(self, fn: Callable[[Any], None]) -> None:
         """Alias so a Process can be waited on like an Event."""

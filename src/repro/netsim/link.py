@@ -13,11 +13,25 @@ Section VII.
 
 Implementation
 --------------
-A link costs **one scheduled event per packet**: the delivery callback at
-``transmission_complete + propagation_delay``.  Queueing is tracked
-analytically with a "transmitter free at" clock (``_free_at``) plus a lazy
-deque of in-flight transmissions used for byte-accurate backlog accounting
-(needed for drop-tail decisions and queue-size monitoring).
+A *foreground* packet (probe, TCP, ping, per-packet cross traffic) costs
+**one scheduled event**: the delivery callback at ``transmission_complete +
+propagation_delay``.  Queueing is tracked analytically with a "transmitter
+free at" clock (``_free_at``) plus a lazy deque of in-flight transmissions
+used for byte-accurate backlog accounting (needed for drop-tail decisions
+and queue-size monitoring).
+
+Bulk-eligible cross traffic costs **no per-packet events at all**: sources
+deposit batched absolute-arrival arrays with the link's
+:class:`~repro.netsim.bulkarrivals.CrossAggregator`, and :meth:`Link.sync`
+folds every arrival with timestamp ≤ now into ``_free_at``, the backlog
+ledger, and :class:`LinkStats` — in arrival order, as a tight loop over
+plain floats/ints — before any foreground ``send()``, any
+``backlog_bytes()``/``queueing_delay()`` read, and any ``stats`` access.
+Foreground packets therefore observe exactly the queue state the
+per-packet path would have produced.  Installing a ``qdisc``, a
+``drop_hook``, or a new ``deliver`` callback on a link that carries bulk
+traffic automatically reverts its sources to the per-packet path (the
+future sample path is unchanged; see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -89,10 +103,11 @@ class Link:
         "prop_delay",
         "buffer_bytes",
         "name",
-        "deliver",
-        "stats",
-        "drop_hook",
-        "qdisc",
+        "_deliver",
+        "_stats",
+        "_drop_hook",
+        "_qdisc",
+        "_agg",
         "_free_at",
         "_in_flight",
         "_backlog_bytes",
@@ -119,15 +134,155 @@ class Link:
         self.prop_delay = float(prop_delay)
         self.buffer_bytes = buffer_bytes
         self.name = name
-        self.deliver = deliver
-        self.stats = LinkStats()
-        #: optional hook called with each dropped packet (used by tests and
-        #: loss-sensitive experiments)
-        self.drop_hook: Optional[Callable[[Packet], None]] = None
-        self.qdisc = qdisc
+        self._deliver = deliver
+        self._stats = LinkStats()
+        self._drop_hook: Optional[Callable[[Packet], None]] = None
+        self._qdisc = qdisc
+        self._agg = None  # CrossAggregator once bulk sources attach
         self._free_at = 0.0  # when the transmitter becomes idle
         self._in_flight: deque = deque()  # (tx_done_time, size_bytes)
         self._backlog_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Wired callbacks and policies (rebinding reverts bulk traffic)
+    # ------------------------------------------------------------------
+    @property
+    def deliver(self) -> Optional[Callable[[Packet], None]]:
+        """Delivery callback; installing one decommissions the bulk path
+        (elided cross packets never reach ``deliver``)."""
+        return self._deliver
+
+    @deliver.setter
+    def deliver(self, fn: Optional[Callable[[Packet], None]]) -> None:
+        if self._agg is not None:
+            self._decommission()
+        self._deliver = fn
+
+    @property
+    def drop_hook(self) -> Optional[Callable[[Packet], None]]:
+        """Optional hook called with each dropped packet (used by taps and
+        loss-sensitive experiments); installing one decommissions the bulk
+        path so every subsequent drop materializes a packet."""
+        return self._drop_hook
+
+    @drop_hook.setter
+    def drop_hook(self, fn: Optional[Callable[[Packet], None]]) -> None:
+        if self._agg is not None:
+            self._decommission()
+        self._drop_hook = fn
+
+    @property
+    def qdisc(self):
+        """Active queue management policy; installing one decommissions the
+        bulk path (AQM decisions must see every packet)."""
+        return self._qdisc
+
+    @qdisc.setter
+    def qdisc(self, policy) -> None:
+        if self._agg is not None:
+            self._decommission()
+        self._qdisc = policy
+
+    @property
+    def stats(self) -> LinkStats:
+        """Cumulative counters, with pending bulk arrivals folded in first."""
+        if self._agg is not None:
+            self.sync()
+        return self._stats
+
+    # ------------------------------------------------------------------
+    # Bulk cross-traffic admission (the event-elided data path)
+    # ------------------------------------------------------------------
+    def sync(self, now: Optional[float] = None) -> None:
+        """Fold pending bulk cross-traffic arrivals into the queue state.
+
+        Replays, in arrival order, every merged arrival with timestamp ≤
+        ``now`` (default: current simulated time) through exactly the
+        accounting ``send()`` performs — transmitter clock, in-flight
+        deque, backlog, drop-tail decision, stats — without creating
+        packets or scheduler events.  Idempotent and cheap when nothing is
+        pending; called automatically at every foreground sync point.
+        """
+        agg = self._agg
+        if agg is None:
+            return
+        t_now = self.sim.now if now is None else now
+        idx = agg.idx
+        times = agg.times
+        n = len(times)
+        if idx >= n or times[idx] > t_now:
+            return
+        sizes = agg.sizes
+        cap = self.capacity_bps
+        free_at = self._free_at
+        backlog = self._backlog_bytes
+        in_flight = self._in_flight
+        stats = self._stats
+        fwd_bytes = stats.bytes_forwarded
+        fwd_pkts = stats.packets_forwarded
+        buffer_bytes = self.buffer_bytes
+        if buffer_bytes is None:
+            # Infinite buffer: nothing can drop, so the per-arrival purge is
+            # deferred (purging is monotone), and — because completion times
+            # are monotone on a FIFO link — an arrival whose transmission
+            # finishes by ``t_now`` would be purged by the trailing pass
+            # anyway, so it never enters the in-flight deque at all.
+            while idx < n:
+                t = times[idx]
+                if t > t_now:
+                    break
+                size = sizes[idx]
+                start = free_at if free_at > t else t
+                free_at = start + size * 8.0 / cap
+                fwd_bytes += size
+                fwd_pkts += 1
+                if free_at > t_now:
+                    in_flight.append((free_at, size))
+                    backlog += size
+                idx += 1
+        else:
+            # Drop-tail decisions replay deterministically in merge order:
+            # the backlog each arrival tests is the one the per-packet path
+            # would have computed at that instant.
+            drop_bytes = stats.bytes_dropped
+            drop_pkts = stats.packets_dropped
+            while idx < n:
+                t = times[idx]
+                if t > t_now:
+                    break
+                size = sizes[idx]
+                while in_flight and in_flight[0][0] <= t:
+                    backlog -= in_flight.popleft()[1]
+                if backlog + size > buffer_bytes:
+                    drop_bytes += size
+                    drop_pkts += 1
+                else:
+                    start = free_at if free_at > t else t
+                    free_at = start + size * 8.0 / cap
+                    in_flight.append((free_at, size))
+                    backlog += size
+                    fwd_bytes += size
+                    fwd_pkts += 1
+                idx += 1
+            stats.bytes_dropped = drop_bytes
+            stats.packets_dropped = drop_pkts
+        while in_flight and in_flight[0][0] <= t_now:
+            backlog -= in_flight.popleft()[1]
+        agg.idx = idx
+        self._free_at = free_at
+        self._backlog_bytes = backlog
+        stats.bytes_forwarded = fwd_bytes
+        stats.packets_forwarded = fwd_pkts
+        agg.compact()
+
+    def _decommission(self) -> None:
+        """Flush due bulk arrivals, then revert every source to per-packet."""
+        agg = self._agg
+        if agg is None:
+            return
+        self.sync()
+        self._agg = None
+        agg.release()
 
     # ------------------------------------------------------------------
     # Queue accounting
@@ -140,11 +295,15 @@ class Link:
 
     def backlog_bytes(self, now: Optional[float] = None) -> int:
         """Bytes queued or in transmission at time ``now`` (default: current)."""
+        if self._agg is not None:
+            self.sync()
         self._purge(self.sim.now if now is None else now)
         return self._backlog_bytes
 
     def queueing_delay(self, now: Optional[float] = None) -> float:
         """Time a zero-size arrival at ``now`` would wait before service."""
+        if self._agg is not None:
+            self.sync()
         t = self.sim.now if now is None else now
         return max(0.0, self._free_at - t)
 
@@ -161,23 +320,27 @@ class Link:
         Returns ``True`` if the packet was enqueued, ``False`` if it was
         dropped by the drop-tail buffer.  On acceptance, the delivery
         callback fires at ``max(now, transmitter_free) + tx_time +
-        prop_delay``.
+        prop_delay``.  Pending bulk cross-traffic arrivals (timestamp ≤
+        now) are folded in first, so this packet queues behind them —
+        the FIFO order the per-packet path produces.
         """
         now = self.sim.now
+        if self._agg is not None:
+            self.sync(now)
         self._purge(now)
         drop = (
             self.buffer_bytes is not None
             and self._backlog_bytes + pkt.size > self.buffer_bytes
         )
-        if not drop and self.qdisc is not None:
-            drop = self.qdisc.should_drop(
+        if not drop and self._qdisc is not None:
+            drop = self._qdisc.should_drop(
                 self._backlog_bytes, pkt.size, now, self.capacity_bps
             )
         if drop:
-            self.stats.bytes_dropped += pkt.size
-            self.stats.packets_dropped += 1
-            if self.drop_hook is not None:
-                self.drop_hook(pkt)
+            self._stats.bytes_dropped += pkt.size
+            self._stats.packets_dropped += 1
+            if self._drop_hook is not None:
+                self._drop_hook(pkt)
             return False
 
         start = self._free_at if self._free_at > now else now
@@ -185,15 +348,15 @@ class Link:
         self._free_at = done
         self._in_flight.append((done, pkt.size))
         self._backlog_bytes += pkt.size
-        self.stats.bytes_forwarded += pkt.size
-        self.stats.packets_forwarded += 1
+        self._stats.bytes_forwarded += pkt.size
+        self._stats.packets_forwarded += 1
         self.sim.schedule_at(done + self.prop_delay, self._exit, pkt)
         return True
 
     def _exit(self, pkt: Packet) -> None:
-        if self.deliver is None:
+        if self._deliver is None:
             raise RuntimeError(f"link {self.name!r} has no delivery callback wired")
-        self.deliver(pkt)
+        self._deliver(pkt)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -7,6 +7,12 @@ counters, with a quantized reporting resolution (Fig. 10's readings come in
 windowed byte-counter deltas — and :class:`MRTGMonitor` adds the banded
 readout.  :class:`QueueMonitor` samples a link's backlog, which Section VII
 uses to explain RTT inflation under a bulk TCP connection.
+
+Monitors are read-only clients of the link's sync points: ``link.stats``
+and ``link.backlog_bytes()`` both fold any pending bulk cross-traffic
+arrivals (see :mod:`repro.netsim.bulkarrivals`) before returning, so every
+sample below is identical whether the link's cross traffic runs on the
+event-elided bulk path or the per-packet path.
 """
 
 from __future__ import annotations

@@ -125,6 +125,20 @@ class PathNetwork:
         pkt.created_at = self.sim.now
         return route[0].send(pkt)
 
+    def flush(self) -> None:
+        """Fold any pending bulk cross-traffic arrivals into every link.
+
+        Links admit batched arrivals lazily (see
+        :mod:`repro.netsim.bulkarrivals`); each sync point — ``send()``,
+        backlog reads, stats access — folds automatically, so calling
+        this is never required for correctness.  It is a convenience for
+        end-of-run bookkeeping: after ``sim.run(until=T)``, one
+        ``flush()`` brings every link's :class:`LinkStats` up to
+        ``sim.now`` in a single pass.
+        """
+        for link in (*self.forward_links, *self.reverse_links):
+            link.sync()
+
     def _advance(self, pkt: Packet) -> None:
         pkt.hop += 1
         if pkt.hop < len(pkt.route):

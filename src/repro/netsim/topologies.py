@@ -120,12 +120,16 @@ def build_fig4_path(
     cfg: Fig4Config,
     rng: np.random.Generator,
     traffic_start: float = 0.0,
+    bulk: Optional[bool] = None,
 ) -> PathSetup:
     """Instantiate the Fig. 4 topology with live cross traffic.
 
     The tight link sits at hop ``H // 2``; total propagation delay is split
     evenly across hops; every link gets its own aggregate of
     ``sources_per_link`` independent sources offering ``C_i * u_i``.
+    ``bulk`` selects the cross-traffic data path per source (default:
+    event-elided when eligible; ``False`` forces per-packet — results are
+    bit-identical either way, see :mod:`repro.netsim.bulkarrivals`).
     """
     tight_index = cfg.hops // 2
     per_hop_prop = cfg.total_prop_delay / cfg.hops
@@ -170,6 +174,7 @@ def build_fig4_path(
                     alpha=cfg.pareto_alpha,
                     mix=mix,
                     start=traffic_start,
+                    bulk=bulk,
                 )
             )
     return PathSetup(
@@ -194,11 +199,14 @@ def build_single_hop_path(
     mix: Optional[PacketMix] = None,
     traffic_start: float = 0.0,
     modulation: Optional[tuple[float, float]] = None,
+    bulk: Optional[bool] = None,
 ) -> PathSetup:
     """A one-link path: the minimal tight-link-only workbench.
 
     ``modulation`` optionally adds slow non-stationary load variation
-    (see :class:`repro.netsim.crosstraffic.CrossTrafficSource`).
+    (see :class:`repro.netsim.crosstraffic.CrossTrafficSource`); ``bulk``
+    selects the cross-traffic data path (modulated sources always run
+    per-packet).
     """
     network = build_path(
         sim,
@@ -219,6 +227,7 @@ def build_single_hop_path(
             mix=mix if mix is not None else PacketMix(),
             start=traffic_start,
             modulation=modulation,
+            bulk=bulk,
         )
     return PathSetup(
         sim=sim,
@@ -242,6 +251,7 @@ def build_two_link_path(
     traffic_model: str = "pareto",
     n_sources: int = 10,
     traffic_start: float = 0.0,
+    bulk: Optional[bool] = None,
 ) -> PathSetup:
     """A path where the **narrow** link and the **tight** link differ.
 
@@ -289,6 +299,7 @@ def build_two_link_path(
                     n_sources=n_sources,
                     model=traffic_model,
                     start=traffic_start,
+                    bulk=bulk,
                 )
             )
     return PathSetup(

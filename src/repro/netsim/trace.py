@@ -48,6 +48,14 @@ class LinkTap:
 
     ``flow_prefix`` restricts capture to flows whose id starts with it
     (e.g. ``"probe"``), keeping traces small in cross-traffic-heavy runs.
+
+    Attaching a tap rebinds the link's delivery callback and drop hook,
+    which automatically reverts any bulk (event-elided) cross-traffic
+    sources on that link to the per-packet path — the sample path is
+    unchanged, and every packet from the attach instant onward is
+    observable.  Cross packets whose arrival was already folded into the
+    link's ledger before the attach were never materialized and cannot
+    appear in ``records``.
     """
 
     def __init__(self, link: Link, flow_prefix: str = ""):

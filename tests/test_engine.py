@@ -198,6 +198,98 @@ class TestProcess:
             sim.run()
 
 
+class TestInterrupt:
+    def test_interrupt_triggers_done_event(self):
+        sim = Simulator()
+
+        def proc():
+            yield 100.0
+
+        p = sim.process(proc())
+        sim.run(until=1.0)
+        p.interrupt()
+        assert not p.is_alive
+        assert p.done_event.triggered
+        assert p.done_event.value is None
+
+    def test_parent_waiting_on_interrupted_child_resumes(self):
+        """Regression: interrupting a child used to leave the parent's
+        ``yield child`` waiting forever (done_event never triggered)."""
+        sim = Simulator()
+
+        def child():
+            yield 100.0
+            return "never"
+
+        def parent():
+            result = yield child_proc
+            return ("resumed", result)
+
+        child_proc = sim.process(child())
+        parent_proc = sim.process(parent())
+        sim.schedule(1.0, child_proc.interrupt)
+        sim.run()
+        assert parent_proc.done_event.triggered
+        assert parent_proc.done_event.value == ("resumed", None)
+
+    def test_interrupted_child_return_value_reaches_parent(self):
+        sim = Simulator()
+
+        def child():
+            try:
+                yield 100.0
+            except RuntimeError:
+                return "cleaned-up"
+            return "never"
+
+        def parent():
+            result = yield child_proc
+            return result
+
+        child_proc = sim.process(child())
+        parent_proc = sim.process(parent())
+        sim.schedule(1.0, child_proc.interrupt, RuntimeError("stop"))
+        sim.run()
+        assert parent_proc.done_event.value == "cleaned-up"
+
+    def test_uncaught_interrupt_exception_propagates_after_done(self):
+        sim = Simulator()
+
+        def proc():
+            yield 100.0
+
+        p = sim.process(proc())
+        sim.run(until=1.0)
+        with pytest.raises(RuntimeError, match="stop"):
+            p.interrupt(RuntimeError("stop"))
+        assert p.done_event.triggered
+        assert not p.is_alive
+
+    def test_interrupt_is_idempotent(self):
+        sim = Simulator()
+
+        def proc():
+            yield 100.0
+
+        p = sim.process(proc())
+        sim.run(until=1.0)
+        p.interrupt()
+        p.interrupt()  # second call must be a no-op
+        assert p.done_event.triggered
+
+    def test_interrupt_after_completion_is_noop(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+            return "done"
+
+        p = sim.process(proc())
+        sim.run()
+        p.interrupt()
+        assert p.done_event.value == "done"
+
+
 class TestSchedulingEdgeCases:
     def test_cancel_after_pop_is_harmless(self):
         # Cancelling a handle whose heap entry has already been popped and
