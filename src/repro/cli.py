@@ -63,6 +63,25 @@ def _build_parser() -> argparse.ArgumentParser:
             "non-intrusiveness setting) instead of the faster 1x idle"
         ),
     )
+    measure.add_argument(
+        "--buffer-kb",
+        type=float,
+        default=None,
+        metavar="KB",
+        help=(
+            "tight-link buffer in kilobytes (default: unbounded; finite "
+            "buffers make probe drops visible in --trace output)"
+        ),
+    )
+    measure.add_argument(
+        "--trace",
+        metavar="PATH",
+        help=(
+            "write a deterministic sim-time trace of the run (.jsonl for "
+            "the repro-trace format, .prom for a metrics snapshot, "
+            "anything else for Perfetto JSON)"
+        ),
+    )
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument(
@@ -82,6 +101,11 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="bypass the on-disk result cache",
     )
+    figure.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write sweep telemetry (task lifecycle, cache hits) as a trace",
+    )
     return parser
 
 
@@ -93,6 +117,12 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     capacity = args.capacity_mbps * 1e6
     truth = capacity * (1 - args.utilization)
     config = PathloadConfig(idle_factor=9.0 if args.paper_idle else 1.0)
+    tracer = None
+    if args.trace:
+        from .obs import Tracer
+
+        tracer = Tracer()
+    buffer_bytes = int(args.buffer_kb * 1000) if args.buffer_kb else None
     if args.hops <= 1:
         report = measure_avail_bw_sim(
             capacity_bps=capacity,
@@ -100,6 +130,8 @@ def _cmd_measure(args: argparse.Namespace) -> int:
             seed=args.seed,
             traffic_model=args.traffic,
             config=config,
+            buffer_bytes=buffer_bytes,
+            tracer=tracer,
         )
     else:
         cfg = Fig4Config(
@@ -107,8 +139,11 @@ def _cmd_measure(args: argparse.Namespace) -> int:
             tight_capacity_bps=capacity,
             tight_utilization=args.utilization,
             traffic_model=args.traffic,
+            buffer_bytes=buffer_bytes,
         )
-        report, _setup = measure_fig4_path(cfg, seed=args.seed, config=config)
+        report, _setup = measure_fig4_path(
+            cfg, seed=args.seed, config=config, tracer=tracer
+        )
     print(
         f"avail-bw range: [{report.low_bps / 1e6:.2f}, "
         f"{report.high_bps / 1e6:.2f}] Mb/s (true average {truth / 1e6:.2f})"
@@ -122,6 +157,12 @@ def _cmd_measure(args: argparse.Namespace) -> int:
 
         dump_report(report, args.output)
         print(f"report written to {args.output}")
+    if tracer is not None:
+        tracer.write(args.trace)
+        print(
+            f"trace written to {args.trace} "
+            f"({len(tracer.events)} events, {len(tracer.decisions)} fleet decisions)"
+        )
     return 0
 
 
@@ -132,17 +173,36 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         for key in REGISTRY:
             print(key)
         return 0
-    if args.id == "all":
-        for key, run_fn in REGISTRY.items():
-            print(f"--- running {key} ---")
+    tracer = None
+    previous = None
+    if args.trace:
+        from .obs import Tracer
+        from .parallel import set_default_tracer
+
+        # The figure modules call run_sweep internally; the process-wide
+        # default tracer collects their telemetry without signature churn.
+        tracer = Tracer()
+        previous = set_default_tracer(tracer)
+    try:
+        if args.id == "all":
+            for key, run_fn in REGISTRY.items():
+                print(f"--- running {key} ---")
+                run_fn(jobs=args.jobs, cache=not args.no_cache).print_table()
+        else:
+            run_fn = REGISTRY.get(args.id)
+            if run_fn is None:
+                print(f"unknown figure {args.id!r}; available: {', '.join(REGISTRY)}",
+                      file=sys.stderr)
+                return 2
             run_fn(jobs=args.jobs, cache=not args.no_cache).print_table()
-        return 0
-    run_fn = REGISTRY.get(args.id)
-    if run_fn is None:
-        print(f"unknown figure {args.id!r}; available: {', '.join(REGISTRY)}",
-              file=sys.stderr)
-        return 2
-    run_fn(jobs=args.jobs, cache=not args.no_cache).print_table()
+    finally:
+        if tracer is not None:
+            from .parallel import set_default_tracer
+
+            set_default_tracer(previous)
+    if tracer is not None:
+        tracer.write(args.trace)
+        print(f"trace written to {args.trace} ({len(tracer.events)} events)")
     return 0
 
 

@@ -82,6 +82,23 @@ class FleetRecord:
             1 for c in self.classifications if c.stream_type is StreamType.UNUSABLE
         )
 
+    def decision_summary(self) -> dict:
+        """Plain-data digest of the verdict evidence, for decision logs.
+
+        One letter per stream (I/N/A/U, in send order) plus the PCT/PDT
+        metric values behind each classification — the Section IV
+        quantities an observer needs to audit the fleet verdict.
+        """
+        return {
+            "rate_bps": self.rate_bps,
+            "outcome": self.outcome.value,
+            "streams": "".join(c.stream_type.value for c in self.classifications),
+            "pct": [c.pct for c in self.classifications],
+            "pdt": [c.pdt for c in self.classifications],
+            "n_increasing": self.n_increasing,
+            "n_nonincreasing": self.n_nonincreasing,
+        }
+
 
 def _unusable() -> StreamClassification:
     return StreamClassification(

@@ -114,13 +114,24 @@ class PathloadController:
         The path round-trip time, used to size idle intervals.  A real
         deployment measures it during connection setup; simulation drivers
         pass the known value.
+    tracer:
+        Optional :class:`repro.obs.Tracer`.  When set, every fleet emits a
+        structured decision record (rate, PCT/PDT values, verdict, bracket
+        and grey region before→after).  Pure observation: the measurement
+        itself is bit-identical with or without it.
     """
 
-    def __init__(self, config: Optional[PathloadConfig] = None, rtt: float = 0.1):
+    def __init__(
+        self,
+        config: Optional[PathloadConfig] = None,
+        rtt: float = 0.1,
+        tracer=None,
+    ):
         if rtt <= 0:
             raise ValueError(f"rtt must be positive, got {rtt}")
         self.config = config if config is not None else PathloadConfig()
         self.rtt = float(rtt)
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     # Stream/fleet helpers
@@ -226,10 +237,20 @@ class PathloadController:
             if t_start is None:
                 t_start = record.t_start
             t_end = record.t_end
+            tracer = self.tracer
+            before = adjuster.state() if tracer is not None else None
             adjuster.record(rate, record.outcome)
             rate = min(
                 max(adjuster.next_rate(), cfg.min_rate_bps), 0.95 * cfg.max_rate_bps
             )
+            if tracer is not None:
+                tracer.fleet_decision(
+                    index=_fleet_index,
+                    record=record,
+                    before=before,
+                    after=adjuster.state(),
+                    next_rate_bps=rate,
+                )
         else:
             # Fleet budget exhausted; the last fleet may still have achieved
             # convergence, so classify the termination accordingly.

@@ -158,4 +158,4 @@ class FigureResult:
 
     def print_table(self) -> None:
         """Print the table to stdout (benchmark harness hook)."""
-        print(self.to_table())
+        print(self.to_table())  # simlint: disable=SIM007 -- the CLIs' table-rendering hook

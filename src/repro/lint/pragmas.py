@@ -84,9 +84,21 @@ def extract_pragmas(source: str) -> PragmaIndex:
 def allowlisted(
     path: str, rule_id: str, allowlist: Mapping[str, Sequence[str]]
 ) -> bool:
-    """True if ``path`` ends with an allowlisted suffix for ``rule_id``."""
+    """True if ``path`` matches an allowlist entry for ``rule_id``.
+
+    Entries are posix-path suffixes; an entry ending in ``/`` matches any
+    file under a directory of that (relative) name, so ``examples/``
+    allowlists the whole examples tree wherever the repo is checked out.
+    """
     suffixes = allowlist.get(rule_id)
     if not suffixes:
         return False
     posix = PurePosixPath(str(path).replace("\\", "/")).as_posix()
-    return any(posix.endswith(suffix) for suffix in suffixes)
+    anchored = "/" + posix
+    for suffix in suffixes:
+        if suffix.endswith("/"):
+            if ("/" + suffix) in anchored or posix.startswith(suffix):
+                return True
+        elif posix.endswith(suffix):
+            return True
+    return False

@@ -94,16 +94,39 @@ ALL_RULES: tuple[Rule, ...] = (
             "silently serializes what should be concurrent activity."
         ),
     ),
+    Rule(
+        id="SIM007",
+        name="bare-print-in-library",
+        summary="bare print() in library code (CLI modules allowlisted)",
+        rationale=(
+            "print() output is unstructured, interleaves badly under the "
+            "process-parallel sweep executor, and bypasses the repro.obs "
+            "observability layer; diagnostics belong in trace events, "
+            "metrics, or logging.  Only the CLI front ends and example "
+            "scripts legitimately write to stdout."
+        ),
+    ),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}
 
-#: Paths (matched as posix-path suffixes) where a rule is expected and
-#: allowed.  ``transport/realtime.py`` is the *only* legitimate wall-clock
-#: user: it drives the sans-IO pathload controller over real UDP sockets, so
-#: wall time is the quantity being measured there, not a contaminant.
+#: Paths where a rule is expected and allowed, matched as posix-path
+#: suffixes; an entry ending in ``/`` allowlists a whole directory.
+#: ``transport/realtime.py`` is the *only* legitimate wall-clock user: it
+#: drives the sans-IO pathload controller over real UDP sockets, so wall
+#: time is the quantity being measured there, not a contaminant.  The
+#: SIM007 entries are the CLI front ends (printing is their job) and the
+#: example scripts.
 DEFAULT_ALLOWLIST: dict[str, tuple[str, ...]] = {
     "SIM001": ("repro/transport/realtime.py",),
+    "SIM007": (
+        "repro/cli.py",
+        "repro/sweep_cli.py",
+        "repro/lint/cli.py",
+        "repro/obs/cli.py",
+        "examples/",
+        "benchmarks/",  # one-shot studies print their tables for eyeballing
+    ),
 }
 
 

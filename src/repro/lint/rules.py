@@ -488,6 +488,40 @@ class NeverYieldingProcessChecker:
 
 
 # ----------------------------------------------------------------------
+# SIM007: bare print() in library code
+# ----------------------------------------------------------------------
+
+
+class BarePrintChecker:
+    """Library modules must not print: diagnostics belong in ``repro.obs``
+    (tracer events, metrics) or ``logging``, where they stay structured and
+    deterministic.  CLI front ends and example scripts — whose *job* is
+    printing — are allowlisted (:data:`~repro.lint.registry.DEFAULT_ALLOWLIST`).
+    """
+
+    rule_id = "SIM007"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield Finding(
+                    rule_id=self.rule_id,
+                    path=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        "bare print() in library code — emit a repro.obs "
+                        "trace event/metric or use logging (CLI modules are "
+                        "allowlisted)"
+                    ),
+                )
+
+
+# ----------------------------------------------------------------------
 # Registry of checkers
 # ----------------------------------------------------------------------
 
@@ -500,6 +534,7 @@ CHECKERS = {
         UnitSuffixChecker(),
         MutableDefaultChecker(),
         NeverYieldingProcessChecker(),
+        BarePrintChecker(),
     )
 }
 

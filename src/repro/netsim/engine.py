@@ -256,6 +256,7 @@ class Simulator:
         "_events_digested",
         "_last_pop",
         "diagnostics",
+        "tracer",
     )
 
     def __init__(self, sanitize: bool = False) -> None:
@@ -273,6 +274,11 @@ class Simulator:
         #: only heap-order violations).  Always an empty list when
         #: ``sanitize=False``.
         self.diagnostics: list[str] = []
+        #: Optional :class:`repro.obs.Tracer`, installed by ``Tracer.attach``.
+        #: Read-only observer: it folds per-event engine metrics but never
+        #: schedules events, so the event order (and :meth:`digest`) is
+        #: identical with or without it.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -315,24 +321,35 @@ class Simulator:
         return name
 
     def _observe_pop(self, time: float, seq: int, call: ScheduledCall) -> None:
-        """Sanitizer bookkeeping for one executed event (pop order + digest)."""
-        last_time, last_seq = self._last_pop
-        if time < last_time:
-            self.diagnostics.append(
-                f"event order violation: popped t={time!r} after t={last_time!r} "
-                f"(callback {self._describe(call.fn)})"
-            )
-        # Exact equality is intended here: heap keys are compared as bit
-        # patterns to detect *ties*, not arithmetic near-coincidence.
-        elif time == last_time and seq <= last_seq:  # simlint: disable=SIM003 -- exact tie detection on heap keys
-            self.diagnostics.append(
-                f"tie at t={time!r} popped out of FIFO order: seq {seq} after "
-                f"{last_seq} (callback {self._describe(call.fn)})"
-            )
-        self._last_pop = (time, seq)
-        self._hasher.update(struct.pack("<dq", time, seq))
-        self._hasher.update(self._describe(call.fn).encode())
-        self._events_digested += 1
+        """Per-event bookkeeping: sanitizer checks/digest, tracer metrics.
+
+        Called from the run loops only when sanitizing or tracing, so the
+        plain path pays nothing beyond the combined-flag check.
+        """
+        if self._sanitize:
+            last_time, last_seq = self._last_pop
+            if time < last_time:
+                self.diagnostics.append(
+                    f"event order violation: popped t={time!r} after t={last_time!r} "
+                    f"(callback {self._describe(call.fn)})"
+                )
+            # Exact equality is intended here: heap keys are compared as bit
+            # patterns to detect *ties*, not arithmetic near-coincidence.
+            elif time == last_time and seq <= last_seq:  # simlint: disable=SIM003 -- exact tie detection on heap keys
+                self.diagnostics.append(
+                    f"tie at t={time!r} popped out of FIFO order: seq {seq} after "
+                    f"{last_seq} (callback {self._describe(call.fn)})"
+                )
+            self._last_pop = (time, seq)
+            self._hasher.update(struct.pack("<dq", time, seq))
+            self._hasher.update(self._describe(call.fn).encode())
+            self._events_digested += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer._engine_events += 1
+            qlen = len(self._queue)
+            if qlen > tracer._heap_high_water:
+                tracer._heap_high_water = qlen
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -448,19 +465,21 @@ class Simulator:
             raise SimulationError("run() called reentrantly")
         self._running = True
         # Everything below runs once per simulated event; bind the loop
-        # invariants (queue list, heappop, sanitize flag) to locals so each
-        # iteration pays no attribute lookups.  ``sanitize`` cannot change
-        # mid-run, and ``self._queue`` is mutated in place, never rebound.
+        # invariants (queue list, heappop, observe flag) to locals so each
+        # iteration pays no attribute lookups.  ``observe`` merges the
+        # sanitizer and tracer checks into the one flag test the plain path
+        # pays; neither can change mid-run, and ``self._queue`` is mutated
+        # in place, never rebound.
         queue = self._queue
         pop = heapq.heappop
-        sanitize = self._sanitize
+        observe = self._sanitize or self.tracer is not None
         try:
             if until is None:
                 while queue:
                     time, seq, call = pop(queue)
                     if call.cancelled:
                         continue
-                    if sanitize:
+                    if observe:
                         self._observe_pop(time, seq, call)
                     self._now = time
                     call.fn(*call.args)
@@ -472,7 +491,7 @@ class Simulator:
                     pop(queue)
                     if call.cancelled:
                         continue
-                    if sanitize:
+                    if observe:
                         self._observe_pop(time, seq, call)
                     self._now = time
                     call.fn(*call.args)
@@ -494,7 +513,7 @@ class Simulator:
         # Same per-event local bindings as :meth:`run`.
         queue = self._queue
         pop = heapq.heappop
-        sanitize = self._sanitize
+        observe = self._sanitize or self.tracer is not None
         try:
             while not event.triggered:
                 if not queue:
@@ -508,7 +527,7 @@ class Simulator:
                     raise SimulationError(
                         f"time limit {limit}s reached before awaited event triggered"
                     )
-                if sanitize:
+                if observe:
                     self._observe_pop(time, seq, call)
                 self._now = time
                 call.fn(*call.args)

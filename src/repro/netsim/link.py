@@ -111,6 +111,7 @@ class Link:
         "_free_at",
         "_in_flight",
         "_backlog_bytes",
+        "_tracer",
     )
 
     def __init__(
@@ -142,6 +143,9 @@ class Link:
         self._free_at = 0.0  # when the transmitter becomes idle
         self._in_flight: deque = deque()  # (tx_done_time, size_bytes)
         self._backlog_bytes = 0
+        # Cached so the nil-tracer cost in send() is one slot None-check;
+        # Tracer.register_link retrofits links built before attach.
+        self._tracer = sim.tracer
 
     # ------------------------------------------------------------------
     # Wired callbacks and policies (rebinding reverts bulk traffic)
@@ -339,6 +343,8 @@ class Link:
         if drop:
             self._stats.bytes_dropped += pkt.size
             self._stats.packets_dropped += 1
+            if self._tracer is not None:
+                self._tracer.on_link_drop(self, pkt, now)
             if self._drop_hook is not None:
                 self._drop_hook(pkt)
             return False
@@ -350,6 +356,8 @@ class Link:
         self._backlog_bytes += pkt.size
         self._stats.bytes_forwarded += pkt.size
         self._stats.packets_forwarded += 1
+        if self._tracer is not None:
+            self._tracer.on_link_enqueue(self.name, self._backlog_bytes)
         self.sim.schedule_at(done + self.prop_delay, self._exit, pkt)
         return True
 

@@ -18,10 +18,11 @@ event-elided bulk path or the per-packet path.
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Optional
 
-from .engine import Simulator
+from .engine import ScheduledCall, Simulator
 from .link import Link
 
 __all__ = [
@@ -57,6 +58,9 @@ class LinkMonitor:
 
     Reads the link's cumulative forwarded-byte counter every ``window``
     seconds — exactly how MRTG derives utilization from SNMP counters.
+    ``stop`` bounds the sampling (the window containing it is the last one
+    recorded); :meth:`detach` cancels the pending tick at any point, so a
+    monitor never keeps an otherwise-idle simulation rescheduling forever.
     """
 
     def __init__(
@@ -65,23 +69,32 @@ class LinkMonitor:
         link: Link,
         window: float = 300.0,
         start: float = 0.0,
+        stop: Optional[float] = None,
     ):
         if window <= 0:
             raise ValueError(f"window must be positive, got {window}")
         self.sim = sim
         self.link = link
         self.window = float(window)
+        self.stop = stop
         self.samples: list[UtilizationSample] = []
         self._last_bytes = 0
         self._window_start = start
-        sim.schedule_at(start, self._begin)
+        self._pending: Optional[ScheduledCall] = sim.schedule_at(start, self._begin)
+
+    def detach(self) -> None:
+        """Cancel the pending tick; sampling stops immediately.  Idempotent."""
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
 
     def _begin(self) -> None:
         self._last_bytes = self.link.stats.bytes_forwarded
         self._window_start = self.sim.now
-        self.sim.schedule(self.window, self._tick)
+        self._pending = self.sim.schedule(self.window, self._tick)
 
     def _tick(self) -> None:
+        self._pending = None
         now = self.sim.now
         total = self.link.stats.bytes_forwarded
         delta = total - self._last_bytes
@@ -98,7 +111,9 @@ class LinkMonitor:
         )
         self._last_bytes = total
         self._window_start = now
-        self.sim.schedule(self.window, self._tick)
+        if self.stop is not None and now >= self.stop:
+            return
+        self._pending = self.sim.schedule(self.window, self._tick)
 
     # ------------------------------------------------------------------
     # Readouts
@@ -114,8 +129,16 @@ class LinkMonitor:
         return sum(s.avail_bw_bps for s in self.samples) / len(self.samples)
 
     def sample_covering(self, t: float) -> Optional[UtilizationSample]:
-        """The completed window containing time ``t``, if any."""
-        for s in self.samples:
+        """The completed window containing time ``t``, if any.
+
+        Windows are appended in time order, so the candidate is the last
+        one starting at or before ``t`` — found by bisection, matching the
+        ``coverage_fraction`` treatment from the parallel-sweep work.
+        """
+        samples = self.samples
+        i = bisect_right(samples, t, key=lambda s: s.t_start)
+        if i:
+            s = samples[i - 1]
             if s.t_start <= t < s.t_end:
                 return s
         return None
@@ -137,8 +160,9 @@ class MRTGMonitor(LinkMonitor):
         window: float = 300.0,
         band_bps: float = 6e6,
         start: float = 0.0,
+        stop: Optional[float] = None,
     ):
-        super().__init__(sim, link, window=window, start=start)
+        super().__init__(sim, link, window=window, start=start, stop=stop)
         if band_bps <= 0:
             raise ValueError(f"band must be positive, got {band_bps}")
         self.band_bps = float(band_bps)
@@ -154,7 +178,11 @@ class MRTGMonitor(LinkMonitor):
 
 
 class QueueMonitor:
-    """Samples a link's backlog (bytes) at a fixed interval."""
+    """Samples a link's backlog (bytes) at a fixed interval.
+
+    ``stop`` ends the sampling without leaving a pending call behind;
+    :meth:`detach` cancels it immediately at any point.
+    """
 
     def __init__(
         self,
@@ -171,14 +199,21 @@ class QueueMonitor:
         self.interval = float(interval)
         self.stop = stop
         self.samples: list[tuple[float, int]] = []
-        sim.schedule_at(start, self._tick)
+        self._pending: Optional[ScheduledCall] = sim.schedule_at(start, self._tick)
+
+    def detach(self) -> None:
+        """Cancel the pending tick; sampling stops immediately.  Idempotent."""
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
 
     def _tick(self) -> None:
+        self._pending = None
         now = self.sim.now
         if self.stop is not None and now > self.stop:
             return
         self.samples.append((now, self.link.backlog_bytes(now)))
-        self.sim.schedule(self.interval, self._tick)
+        self._pending = self.sim.schedule(self.interval, self._tick)
 
     def max_backlog(self) -> int:
         """Largest sampled backlog in bytes (0 if no samples)."""

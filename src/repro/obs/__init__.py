@@ -1,0 +1,39 @@
+"""Deterministic observability for the simulation substrate.
+
+``repro.obs`` answers "what did the simulation *do*?" without perturbing
+what it does: a :class:`Tracer` of sim-time spans/instants and structured
+pathload :class:`FleetDecision` records, a :class:`MetricsRegistry` of
+counters/gauges/histograms, and exporters to JSONL, Perfetto (Chrome
+trace-event JSON), and Prometheus text.  With no tracer attached every
+instrumentation point costs one attribute None-check; with one attached,
+``Simulator.digest()`` and all experiment reports remain bit-identical.
+
+See docs/observability.md for the event taxonomy and determinism contract.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import FleetDecision, TraceEvent, Tracer
+from .exporters import (
+    events_digest,
+    read_jsonl,
+    summarize,
+    to_perfetto,
+    write_jsonl,
+    write_perfetto,
+)
+
+__all__ = [
+    "Tracer",
+    "TraceEvent",
+    "FleetDecision",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "write_jsonl",
+    "read_jsonl",
+    "to_perfetto",
+    "write_perfetto",
+    "events_digest",
+    "summarize",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.obs`` runs the ``repro-trace`` CLI."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,121 @@
+"""``repro-trace``: inspect and convert trace files.
+
+Three subcommands over the JSONL traces written by ``--trace PATH``::
+
+    repro-trace summarize run.jsonl            # counts, tracks, digest
+    repro-trace perfetto run.jsonl -o run.json # convert for ui.perfetto.dev
+    repro-trace diff a.jsonl b.jsonl           # compare by event digest
+
+``diff`` exits 0 when the two traces have identical event digests
+(wall-clock args excluded — see docs/observability.md), 1 when they
+diverge (printing the first differing event), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .exporters import _canonical, events_digest, read_jsonl, summarize, write_perfetto
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description=(
+            "Inspect, convert, and diff the deterministic sim-time traces "
+            "written by repro-pathload/repro-sweep --trace."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    s = sub.add_parser("summarize", help="event counts, tracks, and digest")
+    s.add_argument("trace", help="JSONL trace file")
+
+    p = sub.add_parser("perfetto", help="convert a JSONL trace for Perfetto")
+    p.add_argument("trace", help="JSONL trace file")
+    p.add_argument(
+        "-o", "--output", help="output path (default: <trace>.perfetto.json)"
+    )
+
+    d = sub.add_parser("diff", help="compare two traces by event digest")
+    d.add_argument("a", help="first JSONL trace")
+    d.add_argument("b", help="second JSONL trace")
+    return parser
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    events, snapshot = read_jsonl(args.trace)
+    info = summarize(events)
+    print(f"{args.trace}: {info['n_events']} events", end="")
+    if info["t_start"] is not None:
+        print(f" over sim [{info['t_start']:.6f}, {info['t_end']:.6f}]s", end="")
+    print()
+    for cat, count in info["by_cat"].items():
+        print(f"  cat {cat:12s} {count}")
+    tracks = sorted(info["by_track"].items(), key=lambda kv: (-kv[1], kv[0]))
+    for track, count in tracks[:20]:
+        print(f"  track {track:12s} {count}")
+    if len(tracks) > 20:
+        print(f"  ... and {len(tracks) - 20} more tracks")
+    if snapshot:
+        print(f"  metrics: {len(snapshot)} families")
+    print(f"  digest {info['digest']}")
+    return 0
+
+
+def _cmd_perfetto(args: argparse.Namespace) -> int:
+    events, _snapshot = read_jsonl(args.trace)
+    output = args.output or (args.trace + ".perfetto.json")
+    write_perfetto(events, output)
+    print(f"{len(events)} events -> {output} (open at https://ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    events_a, _ = read_jsonl(args.a)
+    events_b, _ = read_jsonl(args.b)
+    digest_a = events_digest(events_a)
+    digest_b = events_digest(events_b)
+    if digest_a == digest_b:
+        print(f"identical: {len(events_a)} events, digest {digest_a}")
+        return 0
+    print(f"traces differ: {args.a} ({len(events_a)} events, {digest_a})")
+    print(f"           vs  {args.b} ({len(events_b)} events, {digest_b})")
+    for i, (ea, eb) in enumerate(zip(events_a, events_b)):
+        if _canonical(ea) != _canonical(eb):
+            print(f"first divergence at event {i}:")
+            print(f"  a: {_canonical(ea)}")
+            print(f"  b: {_canonical(eb)}")
+            break
+    else:
+        longer, n = (args.a, len(events_a)) if len(events_a) > len(events_b) \
+            else (args.b, len(events_b))
+        common = min(len(events_a), len(events_b))
+        print(f"common prefix identical; {longer} has {n - common} extra event(s)")
+    return 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "summarize":
+            return _cmd_summarize(args)
+        if args.command == "perfetto":
+            return _cmd_perfetto(args)
+        if args.command == "diff":
+            return _cmd_diff(args)
+    except (OSError, ValueError) as exc:
+        print(f"repro-trace: {exc}", file=sys.stderr)
+        return 2
+    parser.print_help()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

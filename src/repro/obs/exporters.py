@@ -1,0 +1,240 @@
+"""Trace exporters: JSONL, Chrome trace-event JSON (Perfetto), digests.
+
+Three on-disk formats (docs/observability.md describes each in detail):
+
+JSONL
+    One JSON object per line: a ``header`` line, one ``event`` line per
+    :class:`~repro.obs.tracer.TraceEvent`, and an optional trailing
+    ``metrics`` line holding a registry snapshot.  This is the lossless
+    format — :func:`read_jsonl` round-trips it — and what ``repro-trace``
+    consumes.
+
+Perfetto (Chrome trace-event JSON)
+    The ``traceEvents`` array format that https://ui.perfetto.dev loads
+    directly.  Simulated seconds map to trace microseconds (a 1 µs tick is
+    well below any OWD resolution the paper cares about); each trace
+    *track* (link name, flow id, "pathload", ...) becomes one named thread
+    so streams, fleets, drops, and cwnd changes line up on a shared
+    sim-time axis.
+
+Prometheus text
+    Produced by :meth:`~repro.obs.metrics.MetricsRegistry.to_prometheus`
+    (not here); a point-in-time snapshot, not a scrape endpoint.
+
+The event digest canonicalizes events (sorted args, ``wall``-prefixed keys
+dropped) so identical seeded runs hash identically across machines and
+Python versions — the basis of ``repro-trace diff``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Iterable, Optional, Sequence
+
+from .metrics import MetricsRegistry
+from .tracer import TraceEvent
+
+__all__ = [
+    "write_jsonl",
+    "read_jsonl",
+    "to_perfetto",
+    "write_perfetto",
+    "events_digest",
+    "summarize",
+]
+
+#: Simulated seconds -> Perfetto trace microseconds.
+_US_PER_S = 1e6
+
+JSONL_FORMAT = "repro-trace"
+JSONL_VERSION = 1
+
+
+def _json_safe(value):
+    """Replace non-finite floats (NaN PCT/PDT of unusable streams) with
+    None so the output is strict JSON that any viewer accepts."""
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def write_jsonl(
+    events: Sequence[TraceEvent],
+    path: str,
+    metrics: Optional[MetricsRegistry] = None,
+) -> None:
+    """Write ``events`` (and optionally a metrics snapshot) as JSONL."""
+    with open(path, "w") as fh:
+        header = {
+            "type": "header",
+            "format": JSONL_FORMAT,
+            "version": JSONL_VERSION,
+            "n_events": len(events),
+        }
+        fh.write(json.dumps(header) + "\n")
+        for event in events:
+            record = {"type": "event"}
+            record.update(_json_safe(event.to_dict()))
+            fh.write(json.dumps(record) + "\n")
+        if metrics is not None:
+            fh.write(
+                json.dumps({"type": "metrics", "snapshot": metrics.snapshot()})
+                + "\n"
+            )
+
+
+def read_jsonl(path: str) -> tuple[list[TraceEvent], Optional[dict]]:
+    """Load a JSONL trace: ``(events, metrics snapshot or None)``."""
+    events: list[TraceEvent] = []
+    snapshot: Optional[dict] = None
+    with open(path) as fh:
+        first = fh.readline()
+        if not first:
+            raise ValueError(f"{path}: empty trace file")
+        header = json.loads(first)
+        if header.get("format") != JSONL_FORMAT:
+            raise ValueError(
+                f"{path}: not a {JSONL_FORMAT} file (header {header!r})"
+            )
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "event":
+                events.append(TraceEvent.from_dict(record))
+            elif kind == "metrics":
+                snapshot = record.get("snapshot")
+    return events, snapshot
+
+
+# ----------------------------------------------------------------------
+# Perfetto / Chrome trace-event JSON
+# ----------------------------------------------------------------------
+def to_perfetto(events: Iterable[TraceEvent], process_name: str = "repro-sim") -> dict:
+    """Convert events to the Chrome trace-event JSON object format.
+
+    One process; one "thread" per track, numbered in first-seen order with
+    a ``thread_name`` metadata record each — Perfetto renders them as
+    labeled rows sharing the sim-time axis.
+    """
+    pid = 1
+    tids: dict[str, int] = {}
+    trace_events: list[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    body: list[dict] = []
+    for event in events:
+        tid = tids.get(event.track)
+        if tid is None:
+            tid = tids[event.track] = len(tids) + 1
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": event.track},
+                }
+            )
+        record = {
+            "name": event.name,
+            "cat": event.cat,
+            "pid": pid,
+            "tid": tid,
+            "ts": event.ts * _US_PER_S,
+            "args": _json_safe(event.args),
+        }
+        if event.dur is None:
+            record["ph"] = "i"
+            record["s"] = "t"  # thread-scoped instant
+        else:
+            record["ph"] = "X"
+            record["dur"] = event.dur * _US_PER_S
+        body.append(record)
+    # Chrome's JSON loader wants events roughly time-ordered; spans are
+    # appended at completion time, so sort (stable on ties) by start.
+    body.sort(key=lambda r: r["ts"])
+    return {"traceEvents": trace_events + body, "displayTimeUnit": "ms"}
+
+
+def write_perfetto(
+    events: Iterable[TraceEvent], path: str, process_name: str = "repro-sim"
+) -> None:
+    """Write Chrome trace-event JSON loadable at ui.perfetto.dev."""
+    with open(path, "w") as fh:
+        json.dump(to_perfetto(events, process_name=process_name), fh)
+
+
+# ----------------------------------------------------------------------
+# Digest + summary
+# ----------------------------------------------------------------------
+def _canonical(event: TraceEvent) -> str:
+    """Canonical line for digesting: sorted args, wall-clock keys dropped."""
+    args = {
+        k: _json_safe(v)
+        for k, v in event.args.items()
+        if not k.startswith("wall")
+    }
+    return json.dumps(
+        {
+            "ts": event.ts,
+            "name": event.name,
+            "cat": event.cat,
+            "track": event.track,
+            "dur": event.dur,
+            "args": args,
+        },
+        sort_keys=True,
+    )
+
+
+def events_digest(events: Iterable[TraceEvent]) -> str:
+    """Hex digest of the canonicalized event stream.
+
+    Two traces of the same seeded run digest identically on any machine:
+    ``wall``-prefixed args (host-side sweep timings) are excluded, and
+    everything else in a trace is simulated-time-deterministic.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    for event in events:
+        hasher.update(_canonical(event).encode())
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def summarize(events: Sequence[TraceEvent]) -> dict:
+    """Aggregate view of a trace: counts per category/track, time span."""
+    by_cat: dict[str, int] = {}
+    by_track: dict[str, int] = {}
+    t_min = math.inf
+    t_max = -math.inf
+    for event in events:
+        by_cat[event.cat] = by_cat.get(event.cat, 0) + 1
+        by_track[event.track] = by_track.get(event.track, 0) + 1
+        t_min = min(t_min, event.ts)
+        t_max = max(t_max, event.ts + (event.dur or 0.0))
+    return {
+        "n_events": len(events),
+        "by_cat": dict(sorted(by_cat.items())),
+        "by_track": dict(sorted(by_track.items())),
+        "t_start": None if math.isinf(t_min) else t_min,
+        "t_end": None if math.isinf(t_max) else t_max,
+        "digest": events_digest(events),
+    }

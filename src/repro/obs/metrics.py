@@ -1,0 +1,246 @@
+"""Counters, gauges, and histograms with a Prometheus-style text export.
+
+A :class:`MetricsRegistry` is a deterministic, in-process metric store: the
+simulation's instrumentation points (engine, links, sweep executor) get or
+create named metrics and update them with plain numbers.  There is no
+background collection thread and no wall clock anywhere in this module —
+every value is either a simulated quantity or an explicitly wall-labeled
+host-side measurement fed in by the caller (see docs/observability.md for
+the determinism contract).
+
+Export is a point-in-time snapshot in the Prometheus text exposition
+format (``# HELP`` / ``# TYPE`` plus samples), ordered by metric name and
+label set so two identical runs serialize byte-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+LabelPairs = tuple[tuple[str, str], ...]
+
+#: Default histogram buckets (upper bounds, seconds-flavored but unitless).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0,
+)
+
+
+def _label_pairs(labels: Optional[Mapping[str, str]]) -> LabelPairs:
+    """Canonical (sorted) label tuple used as part of a metric's identity."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(pairs: LabelPairs) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _render_value(value: Union[int, float]) -> str:
+    """Prometheus sample value: integers stay integral, floats use repr."""
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class Counter:
+    """Monotonically increasing count (events, bytes, cache hits)."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "help", "value")
+
+    def __init__(self, name: str, labels: LabelPairs = (), help: str = ""):
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.value: Union[int, float] = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        self.value += amount
+
+    def samples(self) -> Iterable[tuple[str, LabelPairs, Union[int, float]]]:
+        yield self.name, self.labels, self.value
+
+
+class Gauge:
+    """A value that can go up and down, with a high-water convenience."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "help", "value")
+
+    def __init__(self, name: str, labels: LabelPairs = (), help: str = ""):
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.value: Union[int, float] = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        """Set the gauge to ``value``."""
+        self.value = value
+
+    def high_water(self, value: Union[int, float]) -> None:
+        """Raise the gauge to ``value`` if it exceeds the current value."""
+        if value > self.value:
+            self.value = value
+
+    def samples(self) -> Iterable[tuple[str, LabelPairs, Union[int, float]]]:
+        yield self.name, self.labels, self.value
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus ``le`` semantics)."""
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "help", "buckets", "counts", "total", "count")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelPairs = (),
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.buckets = bounds
+        self.counts = [0] * len(bounds)  # per-bound counts, cumulated on export
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: Union[int, float]) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.total += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+
+    def samples(self) -> Iterable[tuple[str, LabelPairs, Union[int, float]]]:
+        running = 0
+        for bound, n in zip(self.buckets, self.counts):
+            running += n
+            le = ("le", repr(bound))
+            yield f"{self.name}_bucket", self.labels + (le,), running
+        yield f"{self.name}_bucket", self.labels + (("le", "+Inf"),), self.count
+        yield f"{self.name}_sum", self.labels, self.total
+        yield f"{self.name}_count", self.labels, self.count
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create store of metrics keyed by ``(name, labels)``.
+
+    Two calls with the same name and label set return the same metric
+    object; a name reused with a different metric *kind* is an error (it
+    would serialize as a malformed exposition).
+    """
+
+    __slots__ = ("_metrics", "_kinds", "_help")
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, LabelPairs], Metric] = {}
+        self._kinds: dict[str, str] = {}
+        # Family-level help: the first non-empty help wins regardless of
+        # which labeled series registered it.
+        self._help: dict[str, str] = {}
+
+    def _get(self, cls, name: str, labels, help: str, **kwargs) -> Metric:
+        pairs = _label_pairs(labels)
+        key = (name, pairs)
+        if help and not self._help.get(name):
+            self._help[name] = help
+        metric = self._metrics.get(key)
+        if metric is not None:
+            if not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+        known = self._kinds.get(name)
+        if known is not None and known != cls.kind:
+            raise TypeError(f"metric {name!r} already registered as {known}")
+        metric = cls(name, labels=pairs, help=help, **kwargs)
+        self._metrics[key] = metric
+        self._kinds[name] = cls.kind
+        return metric
+
+    def counter(
+        self, name: str, labels: Optional[Mapping[str, str]] = None, help: str = ""
+    ) -> Counter:
+        """Get or create a :class:`Counter`."""
+        return self._get(Counter, name, labels, help)
+
+    def gauge(
+        self, name: str, labels: Optional[Mapping[str, str]] = None, help: str = ""
+    ) -> Gauge:
+        """Get or create a :class:`Gauge`."""
+        return self._get(Gauge, name, labels, help)
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create a :class:`Histogram`."""
+        return self._get(Histogram, name, labels, help, buckets=buckets)
+
+    def __iter__(self):
+        """Metrics in deterministic (name, labels) order."""
+        for key in sorted(self._metrics):
+            yield self._metrics[key]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict:
+        """Plain-data snapshot (JSON-serializable), deterministic order."""
+        out: dict = {}
+        for metric in self:
+            entry = out.setdefault(
+                metric.name,
+                {
+                    "kind": metric.kind,
+                    "help": self._help.get(metric.name, ""),
+                    "samples": [],
+                },
+            )
+            for name, pairs, value in metric.samples():
+                entry["samples"].append(
+                    {"name": name, "labels": dict(pairs), "value": value}
+                )
+        return out
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition snapshot of every metric."""
+        lines: list[str] = []
+        seen_header: set[str] = set()
+        for metric in self:
+            if metric.name not in seen_header:
+                seen_header.add(metric.name)
+                help_text = self._help.get(metric.name, "")
+                if help_text:
+                    lines.append(f"# HELP {metric.name} {help_text}")
+                lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for name, pairs, value in metric.samples():
+                lines.append(f"{name}{_render_labels(pairs)} {_render_value(value)}")
+        return "\n".join(lines) + "\n"

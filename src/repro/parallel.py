@@ -36,6 +36,7 @@ import os
 import pickle
 import shutil
 import tempfile
+import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -53,6 +54,7 @@ __all__ = [
     "cache_path",
     "default_cache_dir",
     "clear_cache",
+    "set_default_tracer",
 ]
 
 #: Environment variable overriding the cache location.
@@ -102,6 +104,9 @@ class SweepOutcome:
     error: Optional[str] = None
     #: True when the value came from the on-disk cache (no simulation ran)
     cached: bool = False
+    #: host wall-clock seconds the worker spent (``None`` for cache hits).
+    #: Explicitly wall-labeled telemetry — never a simulated quantity.
+    wall_s: Optional[float] = None
 
     @property
     def ok(self) -> bool:
@@ -226,18 +231,38 @@ def _cache_store(path: str, value: Any) -> None:
 # ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
-def _invoke(task: SweepTask) -> tuple[bool, Any]:
+#: Tracer used when ``run_sweep`` is called without an explicit one — set
+#: by the CLI ``--trace`` flags so figure modules need no signature change.
+_default_tracer = None
+
+
+def set_default_tracer(tracer) -> Any:
+    """Install the process-wide default sweep tracer; returns the previous
+    one so callers can restore it."""
+    global _default_tracer
+    previous = _default_tracer
+    _default_tracer = tracer
+    return previous
+
+
+def _invoke(task: SweepTask) -> tuple[bool, Any, float]:
     """Run one task, capturing any exception as a formatted traceback.
 
     Module-level so process pools can pickle it by reference; the
-    ``(ok, payload)`` protocol keeps worker crashes from poisoning the pool.
+    ``(ok, payload, wall_s)`` protocol keeps worker crashes from poisoning
+    the pool and carries the host-side wall time back for telemetry.
     """
+    # Wall-clock here times the *worker process* running one simulation —
+    # sweep telemetry, never a simulated quantity.
+    t0 = time.perf_counter()  # simlint: disable=SIM001 -- host-side task timing, outside the simulation
     try:
         if task.seed_entropy is not None:
-            return True, task.fn(task.seed_entropy, **dict(task.kwargs))
-        return True, task.fn(**dict(task.kwargs))
+            value = task.fn(task.seed_entropy, **dict(task.kwargs))
+        else:
+            value = task.fn(**dict(task.kwargs))
+        return True, value, time.perf_counter() - t0  # simlint: disable=SIM001 -- host-side task timing, outside the simulation
     except Exception:
-        return False, traceback.format_exc()
+        return False, traceback.format_exc(), time.perf_counter() - t0  # simlint: disable=SIM001 -- host-side task timing, outside the simulation
 
 
 def run_sweep(
@@ -245,6 +270,7 @@ def run_sweep(
     jobs: int = 1,
     cache: bool = True,
     cache_dir: Optional[str] = None,
+    tracer=None,
 ) -> list[SweepOutcome]:
     """Execute ``tasks``, fanning out across ``jobs`` worker processes.
 
@@ -257,10 +283,19 @@ def run_sweep(
     A worker exception is captured into the task's outcome (``.error``)
     without disturbing sibling tasks; use :func:`sweep_values` to turn any
     failure into a :class:`SweepError` naming the offending seed/config.
+
+    ``tracer`` (or the process default from :func:`set_default_tracer`)
+    receives sweep telemetry: cache hit/miss counters, per-task wall-time
+    histograms, and one lifecycle event per task.  Sweep event timestamps
+    are submission indices (there is no simulated clock here); wall times
+    live only in ``wall``-prefixed args and metrics, which trace diffs
+    ignore.
     """
     tasks = list(tasks)
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if tracer is None:
+        tracer = _default_tracer
     outcomes: list[Optional[SweepOutcome]] = [None] * len(tasks)
 
     pending: list[int] = []
@@ -283,16 +318,67 @@ def run_sweep(
                 # Executor.map preserves input order, which is all the
                 # determinism the collation step needs.
                 results = list(pool.map(_invoke, (tasks[i] for i in pending)))
-        for i, (ok, payload) in zip(pending, results):
+        for i, (ok, payload, wall_s) in zip(pending, results):
             task = tasks[i]
             if ok:
-                outcomes[i] = SweepOutcome(task=task, value=payload)
+                outcomes[i] = SweepOutcome(task=task, value=payload, wall_s=wall_s)
                 if cache:
                     _cache_store(cache_path(task, cache_dir), payload)
             else:
-                outcomes[i] = SweepOutcome(task=task, error=payload)
+                outcomes[i] = SweepOutcome(task=task, error=payload, wall_s=wall_s)
 
+    if tracer is not None:
+        _record_sweep_telemetry(tracer, outcomes, jobs=jobs, cache=cache)
     return outcomes  # type: ignore[return-value]
+
+
+def _record_sweep_telemetry(
+    tracer, outcomes: list, jobs: int, cache: bool
+) -> None:
+    """Fold one completed sweep into the tracer (events + metrics)."""
+    metrics = tracer.metrics
+    for index, outcome in enumerate(outcomes):
+        task = outcome.task
+        labels = {"experiment": task.experiment}
+        if outcome.cached:
+            metrics.counter(
+                "repro_sweep_cache_hits_total",
+                labels=labels,
+                help="sweep tasks answered from the on-disk result cache",
+            ).inc()
+        else:
+            metrics.counter(
+                "repro_sweep_cache_misses_total",
+                labels=labels,
+                help="sweep tasks that ran a fresh simulation",
+            ).inc()
+        if outcome.error is not None:
+            metrics.counter(
+                "repro_sweep_task_failures_total",
+                labels=labels,
+                help="sweep tasks whose worker raised",
+            ).inc()
+        if outcome.wall_s is not None:
+            metrics.histogram(
+                "repro_sweep_task_wall_seconds",
+                labels=labels,
+                help="host wall-clock time per executed sweep task",
+            ).observe(outcome.wall_s)
+        # Event timestamps on the sweep track are submission indices —
+        # the executor's only deterministic "clock".
+        args = {
+            "experiment": task.experiment,
+            "index": index,
+            "cached": outcome.cached,
+            "ok": outcome.ok,
+            "jobs": jobs,
+            "cache": cache,
+        }
+        if task.seed_entropy is not None:
+            args["seed_entropy"] = task.seed_entropy
+        if outcome.wall_s is not None:
+            args["wall_s"] = outcome.wall_s
+        tracer.instant(float(index), "sweep", "task", track="sweep", args=args)
 
 
 def sweep_values(outcomes: list[SweepOutcome]) -> list[Any]:

@@ -42,6 +42,8 @@ def measure_avail_bw_sim(
     warmup: float = 2.0,
     traffic_model: str = "pareto",
     prop_delay: float = 0.01,
+    buffer_bytes: Optional[int] = None,
+    tracer=None,
 ) -> PathloadReport:
     """Measure the avail-bw of a single-hop path — the 60-second tour.
 
@@ -49,9 +51,12 @@ def measure_avail_bw_sim(
     ``utilization`` with heavy-tailed cross traffic, and runs one pathload
     measurement after ``warmup`` seconds.  The true average avail-bw is
     ``capacity_bps * (1 - utilization)``; the returned report's range should
-    bracket it.
+    bracket it.  ``tracer`` (a :class:`repro.obs.Tracer`) observes the run
+    without changing the report.
     """
     sim = Simulator()
+    if tracer is not None:
+        tracer.attach(sim)
     rng = np.random.default_rng(seed)
     setup = build_single_hop_path(
         sim,
@@ -60,7 +65,10 @@ def measure_avail_bw_sim(
         rng,
         prop_delay=prop_delay,
         traffic_model=traffic_model,
+        buffer_bytes=buffer_bytes,
     )
+    if tracer is not None:
+        tracer.register_network(setup.network)
     return run_pathload_on_path(sim, setup.network, config=config, start=warmup)
 
 
@@ -69,14 +77,20 @@ def measure_fig4_path(
     seed: int = 0,
     config: Optional[PathloadConfig] = None,
     warmup: float = 2.0,
+    tracer=None,
 ) -> tuple[PathloadReport, PathSetup]:
     """Measure avail-bw over the paper's Fig. 4 topology.
 
     Returns the report together with the :class:`PathSetup` (which carries
-    the configured ground-truth avail-bw for validation).
+    the configured ground-truth avail-bw for validation).  ``tracer``
+    observes the run without changing the report.
     """
     sim = Simulator()
+    if tracer is not None:
+        tracer.attach(sim)
     rng = np.random.default_rng(seed)
     setup = build_fig4_path(sim, cfg, rng)
+    if tracer is not None:
+        tracer.register_network(setup.network)
     report = run_pathload_on_path(sim, setup.network, config=config, start=warmup)
     return report, setup

@@ -67,6 +67,14 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="delete the cache tree and exit",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help=(
+            "write sweep telemetry (task lifecycle, cache hit/miss, wall "
+            "times) as a trace (.jsonl, .prom, or Perfetto JSON)"
+        ),
+    )
     return parser
 
 
@@ -109,20 +117,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
 
-    for key in ids:
-        run_fn = REGISTRY[key]
-        # Wall-clock here times the *host* executing simulations — the
-        # sweep's own cost, never a simulated quantity.
-        t0 = time.perf_counter()  # simlint: disable=SIM001 -- host-side sweep timing, outside the simulation
-        result = run_fn(jobs=args.jobs, cache=not args.no_cache)
-        elapsed = time.perf_counter() - t0  # simlint: disable=SIM001 -- host-side sweep timing, outside the simulation
-        result.print_table()
-        print(
-            f"[{key}] jobs={args.jobs} "
-            f"cache={'off' if args.no_cache else 'on'} "
-            f"wall={elapsed:.1f}s",
-            file=sys.stderr,
-        )
+    tracer = None
+    previous = None
+    if args.trace:
+        from .obs import Tracer
+        from .parallel import set_default_tracer
+
+        tracer = Tracer()
+        previous = set_default_tracer(tracer)
+    try:
+        for key in ids:
+            run_fn = REGISTRY[key]
+            # Wall-clock here times the *host* executing simulations — the
+            # sweep's own cost, never a simulated quantity.
+            t0 = time.perf_counter()  # simlint: disable=SIM001 -- host-side sweep timing, outside the simulation
+            result = run_fn(jobs=args.jobs, cache=not args.no_cache)
+            elapsed = time.perf_counter() - t0  # simlint: disable=SIM001 -- host-side sweep timing, outside the simulation
+            result.print_table()
+            print(
+                f"[{key}] jobs={args.jobs} "
+                f"cache={'off' if args.no_cache else 'on'} "
+                f"wall={elapsed:.1f}s",
+                file=sys.stderr,
+            )
+    finally:
+        if tracer is not None:
+            from .parallel import set_default_tracer
+
+            set_default_tracer(previous)
+    if tracer is not None:
+        tracer.write(args.trace)
+        print(f"trace written to {args.trace} ({len(tracer.events)} events)",
+              file=sys.stderr)
     return 0
 
 

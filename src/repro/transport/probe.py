@@ -34,8 +34,6 @@ from ..netsim.path import PathNetwork
 
 __all__ = ["SendJitter", "ProbeChannel", "drive_controller", "run_pathload"]
 
-_stream_ids = itertools.count()
-
 
 class SendJitter:
     """Context-switch model: with probability ``prob`` per packet, the send
@@ -111,6 +109,11 @@ class ProbeChannel:
         #: cumulative probe traffic accounting (intrusiveness studies)
         self.packets_sent = 0
         self.bytes_sent = 0
+        # Cached tracer: the nil path costs one None-check per stream.
+        self._tracer = sim.tracer
+        # Per-channel stream ids: flow labels (and hence trace tracks) are
+        # reproducible run-to-run instead of leaking a process-global count.
+        self._stream_ids = itertools.count()
 
     # ------------------------------------------------------------------
     # Stream transmission
@@ -118,9 +121,22 @@ class ProbeChannel:
     def send_stream(self, spec: StreamSpec) -> Event:
         """Send one periodic stream; the returned event triggers with its
         :class:`StreamMeasurement` once the receiver's report is back."""
-        run = _StreamRun(spec, f"probe-{next(_stream_ids)}", self.sim.now)
+        run = _StreamRun(spec, f"probe-{next(self._stream_ids)}", self.sim.now)
         done = self.sim.event()
         t0 = self.sim.now
+        if self._tracer is not None:
+            self._tracer.instant(
+                t0,
+                "stream",
+                "send",
+                track=run.flow_id,
+                args={
+                    "rate_bps": spec.rate_bps,
+                    "n_packets": spec.n_packets,
+                    "packet_size": spec.packet_size,
+                    "period": spec.period,
+                },
+            )
         for seq in range(spec.n_packets):
             ideal = t0 + seq * spec.period
             extra = self.jitter.sample() if self.jitter is not None else 0.0
@@ -177,6 +193,19 @@ class ProbeChannel:
         # The receiver reports back over the (uncongested) reverse path.
         report_at = self.sim.now + self.control_delay
         measurement.t_end = report_at
+        if self._tracer is not None:
+            self._tracer.span(
+                run.t_start,
+                report_at,
+                "stream",
+                "stream",
+                track=run.flow_id,
+                args={
+                    "rate_bps": run.spec.rate_bps,
+                    "n_sent": measurement.n_sent,
+                    "n_received": len(run.records),
+                },
+            )
         self.sim.schedule_at(report_at, done.trigger, measurement)
 
 
@@ -231,7 +260,9 @@ def run_pathload(
     if channel is None:
         channel = ProbeChannel(sim, network)
     controller = PathloadController(
-        config=config, rtt=rtt if rtt is not None else network.min_rtt()
+        config=config,
+        rtt=rtt if rtt is not None else network.min_rtt(),
+        tracer=sim.tracer,
     )
     holder: dict = {}
 

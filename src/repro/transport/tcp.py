@@ -21,7 +21,6 @@ halves, and the sawtooth repeats.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -30,8 +29,6 @@ from ..netsim.packet import Packet, PacketKind
 from ..netsim.path import PathNetwork
 
 __all__ = ["TCPConfig", "TCPSender", "TCPReceiver", "open_connection"]
-
-_conn_ids = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -233,7 +230,13 @@ class TCPSender:
         self.sim = sim
         self.network = network
         self.config = config if config is not None else TCPConfig()
-        self.flow_id = flow_id or f"tcp-{next(_conn_ids)}"
+        if not flow_id:
+            # Number default flows per network, not per process, so flow
+            # labels (and trace tracks) reproduce run-to-run.
+            seq = getattr(network, "_tcp_flow_seq", 0)
+            network._tcp_flow_seq = seq + 1
+            flow_id = f"tcp-{seq}"
+        self.flow_id = flow_id
         self.total_bytes = total_bytes
         self.on_complete = on_complete
         receiver.flow_id = self.flow_id
@@ -272,6 +275,8 @@ class TCPSender:
         self.retransmits = 0
         self.timeouts = 0
         self.cwnd_log: list[tuple[float, float]] = []
+        # Cached tracer: the nil path costs one None-check per cwnd change.
+        self._tracer = sim.tracer
 
     # ------------------------------------------------------------------
     # Public control
@@ -515,6 +520,14 @@ class TCPSender:
             return
         cfg = self.config
         self.timeouts += 1
+        if self._tracer is not None:
+            self._tracer.instant(
+                self.sim.now,
+                "tcp",
+                "rto",
+                track=self.flow_id,
+                args={"rto": self.rto, "flight": self.flight_size},
+            )
         self.ssthresh = max(self.flight_size / 2.0, 2.0 * cfg.mss)
         self.cwnd = float(cfg.mss)
         self.in_recovery = False
@@ -533,6 +546,18 @@ class TCPSender:
 
     def _log_cwnd(self) -> None:
         self.cwnd_log.append((self.sim.now, self.cwnd))
+        if self._tracer is not None:
+            self._tracer.instant(
+                self.sim.now,
+                "tcp",
+                "cwnd",
+                track=self.flow_id,
+                args={
+                    "cwnd": self.cwnd,
+                    "ssthresh": self.ssthresh,
+                    "in_recovery": self.in_recovery,
+                },
+            )
 
 
 def open_connection(

@@ -1,0 +1,16 @@
+"""Known-bad fixture: bare print() in library code (SIM007 at lines 7, 12)."""
+
+import sys
+
+
+def report(value):
+    print("value:", value)
+    sys.stdout.write("fine: not a print call\n")
+
+
+def shout(label, count):
+    print(f"{label}: {count}")
+
+
+def suppressed():
+    print("allowed here")  # simlint: disable=SIM007 -- fixture suppression

@@ -53,6 +53,10 @@ class TestRulesOnFixtures:
     def test_sim006_never_yielding_process(self):
         assert fire_lines("bad_sim006.py", "SIM006") == [15]
 
+    def test_sim007_bare_print(self):
+        # line 16's print carries an inline pragma; only 7 and 12 fire
+        assert fire_lines("bad_sim007.py", "SIM007") == [7, 12]
+
     def test_pragmas_suppress_everything(self):
         path = FIXTURES / "pragmas_ok.py"
         assert lint_source(path.read_text(), str(path)) == []
@@ -89,6 +93,19 @@ class TestSuppression:
         with pytest.raises(ValueError, match="SIM999"):
             get_rules(select=["SIM999"])
 
+    def test_sim007_allowlists_cli_and_directories(self):
+        source = 'print("hello")\n'
+        hit = lint_source(source, "src/repro/netsim/link.py")
+        assert [f.rule_id for f in hit] == ["SIM007"]
+        # CLI front ends are allowlisted by file suffix ...
+        assert lint_source(source, "src/repro/cli.py") == []
+        assert lint_source(source, "src/repro/obs/cli.py") == []
+        # ... examples and benchmarks by directory entry
+        assert lint_source(source, "examples/quickstart.py") == []
+        assert lint_source(source, "benchmarks/test_perf_substrate.py") == []
+        # a directory entry must match a whole path component
+        assert lint_source(source, "src/repro/notexamples/x.py") != []
+
 
 class TestMutationAcceptance:
     """Deliberately corrupt real source files (in memory) — must be caught."""
@@ -109,6 +126,14 @@ class TestMutationAcceptance:
         )
         findings = lint_source(source, str(path))
         assert any(f.rule_id == "SIM002" for f in findings)
+
+    def test_print_in_engine_py_is_caught(self):
+        path = REPO_ROOT / "src" / "repro" / "netsim" / "engine.py"
+        source = path.read_text() + (
+            '\n\ndef _bad_debug(sim):\n    print("now =", sim.now)\n'
+        )
+        findings = lint_source(source, str(path))
+        assert any(f.rule_id == "SIM007" for f in findings)
 
     def test_shipped_tree_is_clean(self):
         result = lint_paths(

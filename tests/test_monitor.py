@@ -136,3 +136,77 @@ class TestQueueMonitor:
         mon = QueueMonitor(sim, net.forward_links[0], interval=0.1, stop=0.55)
         sim.run(until=2.0)
         assert len(mon.samples) <= 7
+
+
+class TestDetachAndStop:
+    def test_link_monitor_stop_bounds_sampling(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(10e6)])
+        mon = LinkMonitor(sim, net.forward_links[0], window=1.0, stop=3.5)
+        sim.schedule(10.0, lambda: None)
+        sim.run(until=10.0)
+        # windows end at 1, 2, 3, 4 (the one containing stop=3.5 is last)
+        assert len(mon.samples) == 4
+        assert mon.samples[-1].t_end == pytest.approx(4.0)
+
+    def test_link_monitor_detach_before_start(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(10e6)])
+        mon = LinkMonitor(sim, net.forward_links[0], window=1.0)
+        mon.detach()
+        mon.detach()  # idempotent
+        sim.run(until=5.0)
+        assert mon.samples == []
+
+    def test_link_monitor_detach_mid_run(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(10e6)])
+        mon = LinkMonitor(sim, net.forward_links[0], window=1.0)
+        sim.schedule(2.5, mon.detach)
+        sim.schedule(10.0, lambda: None)
+        sim.run(until=10.0)
+        assert len(mon.samples) == 2  # windows ending at 1.0 and 2.0 survive
+
+    def test_monitor_does_not_keep_idle_sim_alive(self):
+        # Without stop, the self-rescheduling tick runs to the horizon; with
+        # stop set, the scheduler executes only begin + the bounded ticks.
+        from repro.obs import Tracer
+
+        def events_with(stop):
+            sim = Simulator()
+            tracer = Tracer()
+            tracer.attach(sim)
+            net = build_path(sim, [LinkSpec(10e6)])
+            LinkMonitor(sim, net.forward_links[0], window=1.0, stop=stop)
+            sim.run(until=100.0)
+            return tracer._engine_events
+
+        assert events_with(stop=2.0) == 3  # begin + ticks at 1.0 and 2.0
+        assert events_with(stop=None) == 101
+
+    def test_queue_monitor_detach(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(1e9)])
+        mon = QueueMonitor(sim, net.forward_links[0], interval=0.1)
+        sim.schedule(0.35, mon.detach)
+        sim.schedule(5.0, lambda: None)
+        sim.run(until=5.0)
+        assert len(mon.samples) <= 4
+        mon.detach()  # idempotent after the scheduled detach already ran
+
+    def test_sample_covering_matches_linear_scan(self):
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(10e6)])
+        mon = LinkMonitor(sim, net.forward_links[0], window=0.7)
+        sim.schedule(20.0, lambda: None)
+        sim.run(until=20.0)
+        assert len(mon.samples) > 20
+
+        def linear(t):
+            for s in mon.samples:
+                if s.t_start <= t < s.t_end:
+                    return s
+            return None
+
+        for t in np.linspace(-1.0, 21.0, 223):
+            assert mon.sample_covering(float(t)) is linear(float(t))

@@ -1,0 +1,412 @@
+"""Tests for the ``repro.obs`` observability layer.
+
+The two load-bearing properties are at the top: attaching a tracer changes
+*nothing* about a run (engine digest and pathload report bit-identical),
+and a traced run actually captures the stream / fleet / drop structure the
+observability docs promise.  The rest covers the metrics registry, the
+three exporters, sweep telemetry, and the ``repro-trace`` CLI.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import PathloadConfig
+from repro.netsim import LinkSpec, Simulator, build_path
+from repro.netsim.topologies import Fig4Config
+from repro.obs import (
+    MetricsRegistry,
+    TraceEvent,
+    Tracer,
+    events_digest,
+    read_jsonl,
+    summarize,
+    to_perfetto,
+    write_jsonl,
+)
+from repro.obs.cli import main as trace_main
+from repro.runner import build_single_hop_path, measure_avail_bw_sim, measure_fig4_path
+from repro.transport.tcp import open_connection
+
+FAST = PathloadConfig(idle_factor=1.0)
+
+
+# ----------------------------------------------------------------------
+# Determinism: tracing is an observer, never a participant
+# ----------------------------------------------------------------------
+class TestTracedRunsAreBitIdentical:
+    def test_engine_digest_with_tcp_and_drops(self):
+        def run(tracer):
+            sim = Simulator(sanitize=True)
+            if tracer is not None:
+                tracer.attach(sim)
+            net = build_path(
+                sim, [LinkSpec(4e6, prop_delay=0.02, buffer_bytes=20_000, name="b")]
+            )
+            if tracer is not None:
+                tracer.register_network(net)
+            open_connection(sim, net, total_bytes=300_000, start=0.0)
+            sim.run(until=10.0)
+            return sim.digest()
+
+        tracer = Tracer()
+        assert run(tracer) == run(None)
+        # ... and the trace is non-trivial: drops and cwnd events happened
+        cats = {e.cat for e in tracer.events}
+        assert {"link", "tcp"} <= cats
+
+    def test_single_hop_report_equal(self):
+        tracer = Tracer()
+        traced = measure_avail_bw_sim(
+            capacity_bps=10e6, utilization=0.6, seed=7, config=FAST, tracer=tracer
+        )
+        plain = measure_avail_bw_sim(
+            capacity_bps=10e6, utilization=0.6, seed=7, config=FAST
+        )
+        assert traced == plain
+        assert len(tracer.decisions) == len(traced.fleets)
+
+    def test_fig4_point_report_equal(self):
+        # The fig05-style operating point CI re-checks on every push.
+        cfg = Fig4Config(tight_utilization=0.6)
+        tracer = Tracer()
+        traced, _ = measure_fig4_path(cfg, seed=7, config=FAST, tracer=tracer)
+        plain, _ = measure_fig4_path(cfg, seed=7, config=FAST)
+        assert traced == plain
+        assert {"stream", "fleet"} <= {e.cat for e in tracer.events}
+
+    def test_same_seed_same_event_digest(self):
+        def trace():
+            tracer = Tracer()
+            measure_avail_bw_sim(
+                capacity_bps=10e6, utilization=0.5, seed=3, config=FAST, tracer=tracer
+            )
+            return tracer
+
+        a, b = trace(), trace()
+        assert a.event_digest() == b.event_digest()
+        assert a.decisions == b.decisions
+
+
+# ----------------------------------------------------------------------
+# Captured structure
+# ----------------------------------------------------------------------
+class TestTraceContent:
+    @pytest.fixture(scope="class")
+    def traced_run(self):
+        tracer = Tracer()
+        report = measure_avail_bw_sim(
+            capacity_bps=10e6, utilization=0.6, seed=7, config=FAST, tracer=tracer
+        )
+        return tracer, report
+
+    def test_stream_events(self, traced_run):
+        tracer, _report = traced_run
+        sends = [e for e in tracer.events if e.cat == "stream" and e.name == "send"]
+        spans = [e for e in tracer.events if e.cat == "stream" and e.dur is not None]
+        assert sends and spans
+        for e in sends:
+            assert e.args["n_packets"] > 0 and e.args["rate_bps"] > 0
+        for e in spans:
+            assert 0 <= e.args["n_received"] <= e.args["n_sent"]
+
+    def test_fleet_decisions_audit_the_bracket(self, traced_run):
+        tracer, report = traced_run
+        assert [d.index for d in tracer.decisions] == list(
+            range(len(tracer.decisions))
+        )
+        for d in tracer.decisions:
+            assert d.outcome in {"R>A", "R<A", "grey", "aborted-loss"}
+            assert len(d.stream_types) == len(d.pct) == len(d.pdt)
+            rmin, rmax, _, _ = d.bracket_after
+            assert rmin <= rmax
+            assert d.t_start < d.t_end
+        # the final bracket matches the published report range
+        last = tracer.decisions[-1]
+        assert last.bracket_after[0] == pytest.approx(report.low_bps)
+        assert last.bracket_after[1] == pytest.approx(report.high_bps)
+
+    def test_nan_pct_pdt_survive_export(self, tmp_path, traced_run):
+        tracer, _report = traced_run
+        # aborted/lossy streams report NaN metrics; exports map them to None
+        path = tmp_path / "t.jsonl"
+        tracer.write_jsonl(str(path))
+        events, _snap = read_jsonl(str(path))
+        for e in events:
+            for vals in (e.args.get("pct"), e.args.get("pdt")):
+                if vals is not None:
+                    assert not any(
+                        isinstance(v, float) and math.isnan(v) for v in vals
+                    )
+
+    def test_drop_events_carry_flow_and_backlog(self):
+        sim = Simulator()
+        tracer = Tracer().attach(sim)
+        net = build_path(
+            sim, [LinkSpec(2e6, prop_delay=0.01, buffer_bytes=10_000, name="b")]
+        )
+        tracer.register_network(net)
+        open_connection(sim, net, total_bytes=200_000, start=0.0)
+        sim.run(until=10.0)
+        drops = [e for e in tracer.events if e.cat == "link" and e.name == "drop"]
+        assert drops
+        for e in drops:
+            assert e.track == "b"
+            assert e.args["size"] > 0
+            assert e.args["backlog"] > 0
+
+    def test_metrics_fold(self, traced_run):
+        tracer, _report = traced_run
+        snap = tracer.collect_metrics().snapshot()
+        assert snap["repro_engine_events_executed"]["samples"][0]["value"] > 0
+        assert snap["repro_engine_heap_high_water"]["samples"][0]["value"] > 0
+        fwd = {
+            s["labels"]["link"]: s["value"]
+            for s in snap["repro_link_bytes_forwarded"]["samples"]
+        }
+        assert fwd["tight"] > 0
+        # folding twice is stable (gauges are set, not accumulated)
+        assert tracer.collect_metrics().snapshot() == snap
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_counter(self):
+        m = MetricsRegistry()
+        c = m.counter("hits", help="h")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert m.counter("hits") is c
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_high_water(self):
+        g = MetricsRegistry().gauge("depth")
+        g.high_water(7)
+        g.high_water(3)
+        assert g.value == 7
+        g.set(1)
+        assert g.value == 1
+
+    def test_histogram_buckets_cumulate(self):
+        h = MetricsRegistry().histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        samples = {(n, dict(p).get("le")): v for n, p, v in h.samples()}
+        assert samples[("lat_bucket", "0.1")] == 1
+        assert samples[("lat_bucket", "1.0")] == 3
+        assert samples[("lat_bucket", "10.0")] == 4
+        assert samples[("lat_bucket", "+Inf")] == 5
+        assert samples[("lat_count", None)] == 5
+        assert samples[("lat_sum", None)] == pytest.approx(56.05)
+
+    def test_labels_make_distinct_series(self):
+        m = MetricsRegistry()
+        a = m.counter("c", labels={"link": "a"})
+        b = m.counter("c", labels={"link": "b"})
+        assert a is not b
+        a.inc()
+        assert (a.value, b.value) == (1, 0)
+
+    def test_kind_conflict_rejected(self):
+        m = MetricsRegistry()
+        m.counter("x")
+        with pytest.raises(TypeError):
+            m.gauge("x")
+        with pytest.raises(TypeError):
+            m.gauge("x", labels={"l": "1"})  # even under a fresh label set
+
+    def test_prometheus_text_is_deterministic(self):
+        def build():
+            m = MetricsRegistry()
+            m.counter("b_total", labels={"z": "2"}, help="b").inc(2)
+            m.counter("b_total", labels={"a": "1"}).inc(1)
+            m.gauge("a_gauge", help="a").set(1.5)
+            return m.to_prometheus()
+
+        text = build()
+        assert text == build()
+        assert text.index("a_gauge") < text.index("b_total")
+        assert "# TYPE a_gauge gauge" in text
+        assert "# HELP b_total b" in text
+        assert 'b_total{a="1"} 1' in text
+        assert "a_gauge 1.5" in text
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+def _sample_events():
+    return [
+        TraceEvent(ts=1.0, name="send", cat="stream", track="probe-0",
+                   args={"rate_bps": 5e6}),
+        TraceEvent(ts=1.0, name="stream", cat="stream", track="probe-0", dur=0.5,
+                   args={"n_sent": 100, "n_received": 98}),
+        TraceEvent(ts=2.5, name="drop", cat="link", track="tight",
+                   args={"size": 1500, "bad": float("nan")}),
+    ]
+
+
+class TestExporters:
+    def test_jsonl_round_trip(self, tmp_path):
+        events = _sample_events()
+        path = tmp_path / "t.jsonl"
+        write_jsonl(events, str(path))
+        back, snapshot = read_jsonl(str(path))
+        assert snapshot is None
+        assert events_digest(back) == events_digest(events)
+        assert [e.name for e in back] == [e.name for e in events]
+        # NaN arg came back as None, identically in both digests
+        assert back[2].args["bad"] is None
+
+    def test_jsonl_header_validated(self, tmp_path):
+        path = tmp_path / "bogus.jsonl"
+        path.write_text('{"format": "something-else"}\n')
+        with pytest.raises(ValueError, match="not a repro-trace"):
+            read_jsonl(str(path))
+
+    def test_wall_args_excluded_from_digest(self):
+        a = TraceEvent(ts=0.0, name="task", cat="sweep", track="sweep",
+                       args={"index": 0, "wall_s": 0.123})
+        b = TraceEvent(ts=0.0, name="task", cat="sweep", track="sweep",
+                       args={"index": 0, "wall_s": 9.876})
+        c = TraceEvent(ts=0.0, name="task", cat="sweep", track="sweep",
+                       args={"index": 1, "wall_s": 0.123})
+        assert events_digest([a]) == events_digest([b])
+        assert events_digest([a]) != events_digest([c])
+
+    def test_perfetto_structure(self):
+        doc = to_perfetto(_sample_events())
+        assert doc["displayTimeUnit"] == "ms"
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        body = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        thread_names = {e["args"]["name"] for e in meta
+                        if e["name"] == "thread_name"}
+        assert {"probe-0", "tight"} <= thread_names
+        # one tid per track, sim seconds scaled to microseconds
+        span = next(e for e in body if e["ph"] == "X")
+        assert span["ts"] == pytest.approx(1.0 * 1e6)
+        assert span["dur"] == pytest.approx(0.5 * 1e6)
+        instants = [e for e in body if e["ph"] == "i"]
+        assert all(e["s"] == "t" for e in instants)
+        assert [e["ts"] for e in body] == sorted(e["ts"] for e in body)
+
+    def test_summarize(self):
+        info = summarize(_sample_events())
+        assert info["n_events"] == 3
+        assert info["by_cat"] == {"stream": 2, "link": 1}
+        assert info["t_start"] == 1.0 and info["t_end"] == 2.5
+        assert info["digest"] == events_digest(_sample_events())
+
+
+# ----------------------------------------------------------------------
+# Sweep telemetry
+# ----------------------------------------------------------------------
+def _sweep_work(x, rng=None):
+    return {"doubled": x * 2}
+
+
+class TestSweepTelemetry:
+    def test_cache_hits_and_wall_times(self, tmp_path):
+        from repro.parallel import SweepTask, run_sweep
+
+        tasks = [
+            SweepTask(experiment="demo", fn=_sweep_work, kwargs={"x": i})
+            for i in range(3)
+        ]
+        tracer = Tracer()
+        first = run_sweep(tasks, jobs=1, cache_dir=str(tmp_path), tracer=tracer)
+        second = run_sweep(tasks, jobs=1, cache_dir=str(tmp_path), tracer=tracer)
+        assert all(o.ok for o in first + second)
+        assert all(o.wall_s is not None and o.wall_s >= 0 for o in first)
+        snap = tracer.metrics.snapshot()
+        hits = snap["repro_sweep_cache_hits_total"]["samples"][0]["value"]
+        misses = snap["repro_sweep_cache_misses_total"]["samples"][0]["value"]
+        assert (misses, hits) == (3, 3)
+        assert snap["repro_sweep_task_wall_seconds"]["samples"]
+        events = [e for e in tracer.events if e.cat == "sweep"]
+        assert len(events) == 6
+        assert {e.args["cached"] for e in events} == {False, True}
+        # sweep timestamps are submission indices, not wall clock
+        assert sorted(e.ts for e in events) == [0.0, 0.0, 1.0, 1.0, 2.0, 2.0]
+
+    def test_default_tracer_hook(self, tmp_path):
+        from repro.parallel import SweepTask, run_sweep, set_default_tracer
+
+        tracer = Tracer()
+        previous = set_default_tracer(tracer)
+        try:
+            run_sweep(
+                [SweepTask(experiment="demo", fn=_sweep_work, kwargs={"x": 5})],
+                jobs=1, cache_dir=str(tmp_path),
+            )
+        finally:
+            assert set_default_tracer(previous) is tracer
+        assert [e.cat for e in tracer.events] == ["sweep"]
+
+
+# ----------------------------------------------------------------------
+# repro-trace CLI
+# ----------------------------------------------------------------------
+class TestTraceCli:
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        tracer = Tracer()
+        measure_avail_bw_sim(
+            capacity_bps=10e6, utilization=0.5, seed=2, config=FAST, tracer=tracer
+        )
+        path = tmp_path / "run.jsonl"
+        tracer.write_jsonl(str(path))
+        return str(path)
+
+    def test_summarize(self, trace_file, capsys):
+        assert trace_main(["summarize", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "cat fleet" in out and "cat stream" in out
+        assert "digest" in out
+
+    def test_perfetto_convert(self, trace_file, tmp_path, capsys):
+        out_path = tmp_path / "run.perfetto.json"
+        assert trace_main(["perfetto", trace_file, "-o", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["traceEvents"]
+
+    def test_diff_identical_and_divergent(self, trace_file, tmp_path, capsys):
+        assert trace_main(["diff", trace_file, trace_file]) == 0
+        assert "identical" in capsys.readouterr().out
+        other = tmp_path / "other.jsonl"
+        tracer = Tracer()
+        measure_avail_bw_sim(
+            capacity_bps=10e6, utilization=0.7, seed=2, config=FAST, tracer=tracer
+        )
+        tracer.write_jsonl(str(other))
+        assert trace_main(["diff", trace_file, str(other)]) == 1
+        assert "first divergence" in capsys.readouterr().out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert trace_main(["summarize", str(tmp_path / "nope.jsonl")]) == 2
+        assert "repro-trace" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# repro-pathload --trace end-to-end
+# ----------------------------------------------------------------------
+class TestPathloadCliTrace:
+    def test_measure_writes_trace(self, tmp_path, capsys):
+        from repro.cli import main as pathload_main
+
+        path = tmp_path / "run.jsonl"
+        code = pathload_main([
+            "measure", "--capacity", "10", "--utilization", "0.8",
+            "--seed", "4", "--buffer-kb", "15", "--trace", str(path),
+        ])
+        assert code == 0
+        events, snapshot = read_jsonl(str(path))
+        assert events and snapshot is not None
+        # the acceptance triple: streams, fleet decisions, and link drops
+        assert {"stream", "fleet", "link"} <= {e.cat for e in events}
