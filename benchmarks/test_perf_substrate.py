@@ -16,8 +16,10 @@ import pytest
 
 from repro.core.fluid import FluidLink, FluidPath, run_controller_fluid
 from repro.core.pathload import PathloadController
+from repro.core.probing import StreamSpec
 from repro.netsim import LinkSpec, Simulator, build_path, attach_cross_traffic
 from repro.netsim.packet import Packet
+from repro.transport.probe import ProbeChannel
 from repro.transport.tcp import TCPConfig, open_connection
 
 
@@ -111,6 +113,78 @@ def test_cross_traffic_bulk_rate(benchmark):
     )
     sim.run(until=2.0)
     assert net.forward_links[0].stats.packets_forwarded == packets
+
+
+def _stream_transit_workload(fast, n_streams=60):
+    """Send ``n_streams`` 100-packet probe streams over a 4-hop idle path.
+
+    Returns (measurements, per-link stats) so callers can assert the fast
+    and per-packet paths bit-identical; the 4-hop depth is where per-packet
+    event cost (one event per packet per hop) dominates and the analytic
+    transit's single event per stream pays off most.
+    """
+    sim = Simulator()
+    net = build_path(sim, [LinkSpec(10e6, prop_delay=1e-3)] * 4)
+    chan = ProbeChannel(sim, net, fast=fast)
+    spec = StreamSpec(rate_bps=8e6, packet_size=300, n_packets=100)
+    out = []
+    start = 1.0
+    for _ in range(n_streams):
+        holder = {}
+        sim.schedule_at(start, lambda: holder.update(ev=chan.send_stream(spec)))
+        sim.run(until=start)
+        m = sim.run_until(holder["ev"], limit=start + 10.0)
+        out.append(
+            (m.n_sent, m.n_received,
+             tuple((r.seq, r.sender_stamp, r.recv_stamp) for r in m.records))
+        )
+        start = sim.now + 0.01
+    stats = [link.stats.snapshot() for link in net.forward_links]
+    return out, stats, chan
+
+
+def test_probe_stream_transit_rate(benchmark):
+    """Analytic stream-transit fast path: planned streams per second.
+
+    One scheduled event per stream instead of one per packet per hop;
+    inline bit-equality against the per-packet path (same measurements,
+    same link counters) keeps the benchmark honest.
+    """
+    out_fast, stats_fast, chan = benchmark(lambda: _stream_transit_workload(True))
+    assert chan.fastpath_streams == 60 and not chan.fastpath_fallbacks
+    out_slow, stats_slow, _chan = _stream_transit_workload(False)
+    assert out_fast == out_slow
+    assert stats_fast == stats_slow
+
+
+def test_stream_transit_speedup_gate():
+    """Regression gate: the fast path stays >= 3x the per-packet path on
+    the 4-hop stream-transit workload (the tentpole acceptance target).
+
+    Opt-in via ``REPRO_PERF_GATE=1`` like the other absolute gates — a
+    wall-clock ratio is only stable on quiet hardware.  Timing is paired
+    (fast/slow alternated, min-of-5 each) so slow drift in machine load
+    cancels out of the ratio.
+    """
+    if os.environ.get("REPRO_PERF_GATE") != "1":
+        pytest.skip("absolute perf gate is opt-in: set REPRO_PERF_GATE=1")
+
+    _stream_transit_workload(True)  # warm caches
+    t_fast = []
+    t_slow = []
+    for _ in range(5):
+        t0 = time.perf_counter()  # simlint: disable=SIM001 -- host-side benchmark timing
+        _stream_transit_workload(True)
+        t_fast.append(time.perf_counter() - t0)  # simlint: disable=SIM001 -- host-side benchmark timing
+        t0 = time.perf_counter()  # simlint: disable=SIM001 -- host-side benchmark timing
+        _stream_transit_workload(False)
+        t_slow.append(time.perf_counter() - t0)  # simlint: disable=SIM001 -- host-side benchmark timing
+    ratio = min(t_slow) / min(t_fast)
+    assert ratio >= 3.0, (
+        f"stream-transit fast path only {ratio:.2f}x over per-packet "
+        f"(fast {min(t_fast) * 1e3:.1f}ms, slow {min(t_slow) * 1e3:.1f}ms); "
+        f"gate is 3.0x"
+    )
 
 
 def test_tcp_segment_throughput(benchmark):

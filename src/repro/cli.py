@@ -15,6 +15,7 @@ Two subcommands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -82,6 +83,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "anything else for Perfetto JSON)"
         ),
     )
+    measure.add_argument(
+        "--no-fast",
+        action="store_true",
+        help=(
+            "disable the analytic stream-transit fast path and send probe "
+            "streams packet by packet (results are bit-identical; this "
+            "only trades speed for an event-per-packet run)"
+        ),
+    )
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument(
@@ -106,6 +116,15 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write sweep telemetry (task lifecycle, cache hits) as a trace",
     )
+    figure.add_argument(
+        "--no-fast",
+        action="store_true",
+        help=(
+            "run the figure's pathload measurements packet by packet "
+            "(sets REPRO_NO_FAST for the sweep workers; bit-identical, "
+            "slower — cache entries are shared either way)"
+        ),
+    )
     return parser
 
 
@@ -123,6 +142,7 @@ def _cmd_measure(args: argparse.Namespace) -> int:
 
         tracer = Tracer()
     buffer_bytes = int(args.buffer_kb * 1000) if args.buffer_kb else None
+    fast = False if args.no_fast else None
     if args.hops <= 1:
         report = measure_avail_bw_sim(
             capacity_bps=capacity,
@@ -132,6 +152,7 @@ def _cmd_measure(args: argparse.Namespace) -> int:
             config=config,
             buffer_bytes=buffer_bytes,
             tracer=tracer,
+            fast=fast,
         )
     else:
         cfg = Fig4Config(
@@ -142,7 +163,7 @@ def _cmd_measure(args: argparse.Namespace) -> int:
             buffer_bytes=buffer_bytes,
         )
         report, _setup = measure_fig4_path(
-            cfg, seed=args.seed, config=config, tracer=tracer
+            cfg, seed=args.seed, config=config, tracer=tracer, fast=fast
         )
     print(
         f"avail-bw range: [{report.low_bps / 1e6:.2f}, "
@@ -173,6 +194,11 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         for key in REGISTRY:
             print(key)
         return 0
+    if args.no_fast:
+        # Sweep workers are separate processes; the environment variable is
+        # the channel that reaches every ProbeChannel they construct.
+        # Results (and cache keys) are identical either way.
+        os.environ["REPRO_NO_FAST"] = "1"
     tracer = None
     previous = None
     if args.trace:

@@ -14,6 +14,7 @@ independent of how the UDP stream is produced; only the timestamps matter.
 from __future__ import annotations
 
 import math
+import operator
 from dataclasses import dataclass
 
 import numpy as np
@@ -87,7 +88,7 @@ def stream_spec_for_rate(
     return StreamSpec(rate_bps=rate_bps, packet_size=size, n_packets=n_packets)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PacketRecord:
     """Receiver-side record of one probe packet.
 
@@ -120,7 +121,7 @@ class StreamMeasurement:
     t_end: float = 0.0
 
     def __post_init__(self) -> None:
-        self.records = sorted(self.records, key=lambda r: r.seq)
+        self.records = sorted(self.records, key=operator.attrgetter("seq"))
 
     @property
     def n_received(self) -> int:

@@ -86,6 +86,7 @@ class CrossAggregator:
         "idx",
         "_event",
         "_merge_pending",
+        "_horizon",
     )
 
     def __init__(self, sim: "Simulator", link: "Link"):
@@ -99,6 +100,9 @@ class CrossAggregator:
         self.idx = 0
         self._event = None  # pending refill-horizon ScheduledCall
         self._merge_pending = False  # a coalescing merge event is queued
+        # Merged coverage: every arrival ≤ _horizon is final (safe-horizon
+        # invariant).  -inf until the first merge, +inf once all feeds end.
+        self._horizon = -math.inf
 
     @classmethod
     def attach(cls, sim: "Simulator", link: "Link") -> "CrossAggregator":
@@ -123,6 +127,10 @@ class CrossAggregator:
         (every source's first arrival lies strictly after registration,
         so no arrival can come due before that event runs).
         """
+        if self.link._agenda is not None:
+            # A planned probe stream snapshotted this link's cross arrivals
+            # without the newcomer; its transit is no longer valid.
+            self.link._agenda.plan.revoke("source-registered")
         self._unmerge()
         feed = _Feed(source, order=len(self.feeds))
         self.feeds.append(feed)
@@ -138,6 +146,7 @@ class CrossAggregator:
     def _unmerge(self) -> None:
         """Return unadmitted merged entries to their feeds (rare path)."""
         times, sizes, owners, idx = self.times, self.sizes, self.owners, self.idx
+        self._horizon = -math.inf  # a new source invalidates merged coverage
         if idx >= len(times):
             del times[:], sizes[:], owners[:]
             self.idx = 0
@@ -174,6 +183,7 @@ class CrossAggregator:
                 feed.source._bulk_fill(feed)
         horizons = [feed.times[-1] for feed in self.feeds if not feed.done]
         safe = min(horizons) if horizons else math.inf
+        self._horizon = safe
         parts_t: list[np.ndarray] = []
         parts_s: list[np.ndarray] = []
         part_feeds: list[_Feed] = []
@@ -202,7 +212,7 @@ class CrossAggregator:
                 [np.full(len(p), i, dtype=np.intp) for i, p in enumerate(parts_t)]
             )[order]
             srcs = [feed.source for feed in part_feeds]
-            owners.extend(srcs[i] for i in feed_idx.tolist())
+            owners.extend([srcs[i] for i in feed_idx.tolist()])
         self._reschedule(safe if horizons else None)
 
     def _reschedule(self, safe: Optional[float]) -> None:
@@ -217,6 +227,29 @@ class CrossAggregator:
         """Refill-horizon event: generate the next batches and re-merge."""
         self._event = None
         self._merge()
+
+    def extend_until(self, t: float) -> None:
+        """Force merged coverage of every arrival with timestamp ≤ ``t``.
+
+        Used by the stream-transit planner
+        (:mod:`repro.netsim.streamtransit`), which needs the cross-arrival
+        sequence over the whole stream horizon *now* rather than at the
+        refill events.  Each :meth:`_merge` drains the binding feed and
+        refills it on the next pass, so the safe horizon strictly advances
+        until it covers ``t`` (or every feed ends).  RNG draw order per
+        source is untouched — batches are generated in the same sequence,
+        only earlier in host time.
+        """
+        while self._horizon < t:
+            prev = self._horizon
+            self._merge()
+            if self._horizon <= prev:  # pragma: no cover - invariant guard
+                from .engine import SimulationError
+
+                raise SimulationError(
+                    f"cross-traffic merge horizon stalled at {prev!r} while "
+                    f"extending {self.link.name!r} to {t!r}"
+                )
 
     # ------------------------------------------------------------------
     # Fold support / teardown

@@ -108,6 +108,7 @@ class Link:
         "_drop_hook",
         "_qdisc",
         "_agg",
+        "_agenda",
         "_free_at",
         "_in_flight",
         "_backlog_bytes",
@@ -140,6 +141,7 @@ class Link:
         self._drop_hook: Optional[Callable[[Packet], None]] = None
         self._qdisc = qdisc
         self._agg = None  # CrossAggregator once bulk sources attach
+        self._agenda = None  # HopAgenda while a planned probe stream transits
         self._free_at = 0.0  # when the transmitter becomes idle
         self._in_flight: deque = deque()  # (tx_done_time, size_bytes)
         self._backlog_bytes = 0
@@ -158,6 +160,8 @@ class Link:
 
     @deliver.setter
     def deliver(self, fn: Optional[Callable[[Packet], None]]) -> None:
+        if self._agenda is not None:
+            self._agenda.plan.revoke("link-decommission")
         if self._agg is not None:
             self._decommission()
         self._deliver = fn
@@ -171,6 +175,8 @@ class Link:
 
     @drop_hook.setter
     def drop_hook(self, fn: Optional[Callable[[Packet], None]]) -> None:
+        if self._agenda is not None:
+            self._agenda.plan.revoke("link-decommission")
         if self._agg is not None:
             self._decommission()
         self._drop_hook = fn
@@ -183,6 +189,8 @@ class Link:
 
     @qdisc.setter
     def qdisc(self, policy) -> None:
+        if self._agenda is not None:
+            self._agenda.plan.revoke("link-decommission")
         if self._agg is not None:
             self._decommission()
         self._qdisc = policy
@@ -190,7 +198,7 @@ class Link:
     @property
     def stats(self) -> LinkStats:
         """Cumulative counters, with pending bulk arrivals folded in first."""
-        if self._agg is not None:
+        if self._agg is not None or self._agenda is not None:
             self.sync()
         return self._stats
 
@@ -206,11 +214,54 @@ class Link:
         deque, backlog, drop-tail decision, stats — without creating
         packets or scheduler events.  Idempotent and cheap when nothing is
         pending; called automatically at every foreground sync point.
+
+        While a planned probe stream transits this hop (``_agenda`` is
+        set), folding goes through :meth:`_sync_fg`, which interleaves the
+        agenda's precomputed admissions with the cross arrivals.
         """
-        agg = self._agg
-        if agg is None:
-            return
-        t_now = self.sim.now if now is None else now
+        agenda = self._agenda
+        if agenda is not None:
+            t_now = self.sim.now if now is None else now
+            agg = self._agg
+            if (
+                t_now >= agenda.t_end
+                and agenda.idx == 0
+                and (agg is None or agg.idx == agenda.ci_start)
+                and self._tracer is None
+            ):
+                # Whole-stream fast-forward: no fold touched this hop while
+                # the stream was in transit (mid-stream folds advance a
+                # cursor; foreign sends revoke), so the planner's captured
+                # end state at ``t_end`` — identical floats, identical
+                # counter sums — applies wholesale.  Traced runs take the
+                # replay below so per-admission callbacks still fire.
+                self._free_at = agenda.end_free_at
+                self._backlog_bytes = agenda.end_backlog
+                in_flight = self._in_flight
+                in_flight.clear()
+                in_flight.extend(agenda.end_in_flight)
+                stats = self._stats
+                stats.bytes_forwarded += agenda.d_fwd_bytes
+                stats.packets_forwarded += agenda.d_fwd_pkts
+                stats.bytes_dropped += agenda.d_drop_bytes
+                stats.packets_dropped += agenda.d_drop_pkts
+                agenda.idx = len(agenda.pairs)
+                self._agenda = None
+                if agg is None:
+                    self._purge(t_now)
+                    return
+                # Fall through: cross arrivals in (t_end, now] still fold
+                # against the *t_end* queue state — their own per-arrival
+                # purges age it forward, exactly as the per-packet path.
+                agg.idx = agenda.ci_end
+            else:
+                self._sync_fg(t_now)
+                return
+        else:
+            agg = self._agg
+            if agg is None:
+                return
+            t_now = self.sim.now if now is None else now
         idx = agg.idx
         times = agg.times
         n = len(times)
@@ -279,8 +330,115 @@ class Link:
         stats.packets_forwarded = fwd_pkts
         agg.compact()
 
+    def _sync_fg(self, t_now: float) -> None:
+        """Fold cross arrivals *and* planned probe admissions up to ``t_now``.
+
+        Same contract as :meth:`sync`, extended with the installed
+        :class:`~repro.netsim.streamtransit.HopAgenda`: entries are
+        interleaved in arrival order (exact-time ties go to cross traffic,
+        because ``send()`` folds cross arrivals ≤ now before admitting the
+        foreground packet) and agenda accepts reuse the planned completion
+        times, so the queue state after any fold is bit-identical to the
+        per-packet path's at the same instant.  Unlike the cross-only fold
+        this one purges per arrival and appends unconditionally — the
+        backlog each agenda entry observes is then exactly the value the
+        per-packet ``send()`` would have traced/tested; the trailing purge
+        makes the end state identical either way.
+        """
+        agenda = self._agenda
+        agg = self._agg
+        if agg is not None:
+            c_times = agg.times
+            c_sizes = agg.sizes
+            ci = agg.idx
+            cn = len(c_times)
+        else:
+            c_times = c_sizes = ()
+            ci = 0
+            cn = 0
+        a_pairs = agenda.pairs
+        ai = agenda.idx
+        an = len(a_pairs)
+        cross_due = ci < cn and c_times[ci] <= t_now
+        if not cross_due and (ai >= an or a_pairs[ai][0] > t_now):
+            return
+        a_accepts = agenda.accepts
+        a_dones = agenda.dones
+        a_size = agenda.size
+        cap = self.capacity_bps
+        free_at = self._free_at
+        backlog = self._backlog_bytes
+        in_flight = self._in_flight
+        stats = self._stats
+        fwd_bytes = stats.bytes_forwarded
+        fwd_pkts = stats.packets_forwarded
+        drop_bytes = stats.bytes_dropped
+        drop_pkts = stats.packets_dropped
+        buffer_bytes = self.buffer_bytes
+        tracer = self._tracer
+        inf = float("inf")
+        while True:
+            c_t = c_times[ci] if ci < cn else inf
+            a_t = a_pairs[ai][0] if ai < an else inf
+            if c_t <= a_t:
+                t = c_t
+                if t > t_now:
+                    break
+                size = c_sizes[ci]
+                while in_flight and in_flight[0][0] <= t:
+                    backlog -= in_flight.popleft()[1]
+                if buffer_bytes is not None and backlog + size > buffer_bytes:
+                    drop_bytes += size
+                    drop_pkts += 1
+                else:
+                    start = free_at if free_at > t else t
+                    free_at = start + size * 8.0 / cap
+                    in_flight.append((free_at, size))
+                    backlog += size
+                    fwd_bytes += size
+                    fwd_pkts += 1
+                ci += 1
+            else:
+                t = a_t
+                if t > t_now:
+                    break
+                while in_flight and in_flight[0][0] <= t:
+                    backlog -= in_flight.popleft()[1]
+                if a_accepts is None or a_accepts[ai]:
+                    done = a_dones[ai]
+                    free_at = done
+                    in_flight.append((done, a_size))
+                    backlog += a_size
+                    fwd_bytes += a_size
+                    fwd_pkts += 1
+                    if tracer is not None:
+                        tracer.on_link_enqueue(self.name, backlog)
+                else:
+                    drop_bytes += a_size
+                    drop_pkts += 1
+                    if tracer is not None:
+                        self._backlog_bytes = backlog
+                        tracer.on_link_drop(self, agenda.proto, t)
+                ai += 1
+        while in_flight and in_flight[0][0] <= t_now:
+            backlog -= in_flight.popleft()[1]
+        self._free_at = free_at
+        self._backlog_bytes = backlog
+        stats.bytes_forwarded = fwd_bytes
+        stats.packets_forwarded = fwd_pkts
+        stats.bytes_dropped = drop_bytes
+        stats.packets_dropped = drop_pkts
+        if agg is not None:
+            agg.idx = ci
+            agg.compact()
+        agenda.idx = ai
+        if ai >= an:
+            self._agenda = None
+
     def _decommission(self) -> None:
         """Flush due bulk arrivals, then revert every source to per-packet."""
+        if self._agenda is not None:  # pragma: no cover - setters revoke first
+            self._agenda.plan.revoke("link-decommission")
         agg = self._agg
         if agg is None:
             return
@@ -299,14 +457,14 @@ class Link:
 
     def backlog_bytes(self, now: Optional[float] = None) -> int:
         """Bytes queued or in transmission at time ``now`` (default: current)."""
-        if self._agg is not None:
+        if self._agg is not None or self._agenda is not None:
             self.sync()
         self._purge(self.sim.now if now is None else now)
         return self._backlog_bytes
 
     def queueing_delay(self, now: Optional[float] = None) -> float:
         """Time a zero-size arrival at ``now`` would wait before service."""
-        if self._agg is not None:
+        if self._agg is not None or self._agenda is not None:
             self.sync()
         t = self.sim.now if now is None else now
         return max(0.0, self._free_at - t)
@@ -329,6 +487,14 @@ class Link:
         the FIFO order the per-packet path produces.
         """
         now = self.sim.now
+        if self._agenda is not None:
+            # Universal interference chokepoint: *any* foreground send on a
+            # hop carrying a planned probe stream — TCP, ping, per-packet
+            # cross, another stream — invalidates the plan's no-interference
+            # assumption.  Revoking folds the plan's past, replays its
+            # future per-packet, and clears this link's agenda; the sample
+            # path from here on is what a never-planned run produces.
+            self._agenda.plan.revoke("foreign-send")
         if self._agg is not None:
             self.sync(now)
         self._purge(now)

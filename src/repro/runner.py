@@ -27,10 +27,15 @@ def run_pathload_on_path(
     config: Optional[PathloadConfig] = None,
     start: float = 0.0,
     time_limit: Optional[float] = None,
+    fast: Optional[bool] = None,
 ) -> PathloadReport:
-    """Run one pathload measurement over an already-built network."""
+    """Run one pathload measurement over an already-built network.
+
+    ``fast`` controls the stream-transit fast path (default: on unless
+    ``REPRO_NO_FAST`` is set); results are bit-identical either way.
+    """
     return run_pathload(
-        sim, network, config=config, start=start, time_limit=time_limit
+        sim, network, config=config, start=start, time_limit=time_limit, fast=fast
     )
 
 
@@ -44,6 +49,7 @@ def measure_avail_bw_sim(
     prop_delay: float = 0.01,
     buffer_bytes: Optional[int] = None,
     tracer=None,
+    fast: Optional[bool] = None,
 ) -> PathloadReport:
     """Measure the avail-bw of a single-hop path — the 60-second tour.
 
@@ -69,7 +75,9 @@ def measure_avail_bw_sim(
     )
     if tracer is not None:
         tracer.register_network(setup.network)
-    return run_pathload_on_path(sim, setup.network, config=config, start=warmup)
+    return run_pathload_on_path(
+        sim, setup.network, config=config, start=warmup, fast=fast
+    )
 
 
 def measure_fig4_path(
@@ -78,6 +86,7 @@ def measure_fig4_path(
     config: Optional[PathloadConfig] = None,
     warmup: float = 2.0,
     tracer=None,
+    fast: Optional[bool] = None,
 ) -> tuple[PathloadReport, PathSetup]:
     """Measure avail-bw over the paper's Fig. 4 topology.
 
@@ -92,5 +101,7 @@ def measure_fig4_path(
     setup = build_fig4_path(sim, cfg, rng)
     if tracer is not None:
         tracer.register_network(setup.network)
-    report = run_pathload_on_path(sim, setup.network, config=config, start=warmup)
+    report = run_pathload_on_path(
+        sim, setup.network, config=config, start=warmup, fast=fast
+    )
     return report, setup

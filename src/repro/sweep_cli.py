@@ -75,6 +75,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "times) as a trace (.jsonl, .prom, or Perfetto JSON)"
         ),
     )
+    parser.add_argument(
+        "--no-fast",
+        action="store_true",
+        help=(
+            "run pathload streams packet by packet instead of the analytic "
+            "stream-transit fast path (sets REPRO_NO_FAST for the workers; "
+            "bit-identical results, cache entries are shared either way)"
+        ),
+    )
     return parser
 
 
@@ -88,6 +97,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .parallel import CACHE_DIR_ENV
 
         os.environ[CACHE_DIR_ENV] = args.cache_dir
+
+    if args.no_fast:
+        # Worker processes inherit the environment; the flag never enters
+        # cache keys because the two data paths are bit-identical.
+        os.environ["REPRO_NO_FAST"] = "1"
 
     if args.clear_cache:
         from .parallel import clear_cache, default_cache_dir

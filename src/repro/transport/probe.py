@@ -21,6 +21,7 @@ Host imperfections are explicit and optional:
 from __future__ import annotations
 
 import itertools
+import os
 from typing import Optional
 
 import numpy as np
@@ -31,6 +32,7 @@ from ..netsim.clock import Clock, PerfectClock
 from ..netsim.engine import Event, Process, Simulator
 from ..netsim.packet import Packet, PacketKind
 from ..netsim.path import PathNetwork
+from ..netsim.streamtransit import plan_stream
 
 __all__ = ["SendJitter", "ProbeChannel", "drive_controller", "run_pathload"]
 
@@ -60,7 +62,17 @@ class SendJitter:
 class _StreamRun:
     """Bookkeeping for one in-flight stream (internal)."""
 
-    __slots__ = ("spec", "flow_id", "records", "n_sent", "t_start", "done")
+    __slots__ = (
+        "spec",
+        "flow_id",
+        "records",
+        "n_sent",
+        "t_start",
+        "done",
+        "schedule",
+        "plan",
+        "claimed",
+    )
 
     def __init__(self, spec: StreamSpec, flow_id: str, t_start: float):
         self.spec = spec
@@ -69,6 +81,12 @@ class _StreamRun:
         self.n_sent = 0
         self.t_start = t_start
         self.done = False
+        #: sorted ``(send_time, seq)`` pairs — all jitter drawn up front
+        self.schedule: list[tuple[float, int]] = []
+        #: installed StreamPlan while the fast path carries this stream
+        self.plan = None
+        #: True while this run holds a network per-packet claim
+        self.claimed = False
 
 
 class ProbeChannel:
@@ -85,6 +103,12 @@ class ProbeChannel:
     control_delay:
         Latency for the receiver's measurement report to reach the sender;
         defaults to half the path's queueing-free RTT.
+    fast:
+        Whether eligible streams take the analytic stream-transit path
+        (:mod:`repro.netsim.streamtransit`) — one scheduled event per
+        stream instead of one per packet per hop, bit-identical results.
+        ``None`` (default) enables it unless the ``REPRO_NO_FAST``
+        environment variable is set.
     """
 
     def __init__(
@@ -95,6 +119,7 @@ class ProbeChannel:
         receiver_clock: Optional[Clock] = None,
         jitter: Optional[SendJitter] = None,
         control_delay: Optional[float] = None,
+        fast: Optional[bool] = None,
     ):
         self.sim = sim
         self.network = network
@@ -106,9 +131,17 @@ class ProbeChannel:
         self.control_delay = (
             control_delay if control_delay is not None else network.min_rtt() / 2.0
         )
+        if fast is None:
+            fast = not os.environ.get("REPRO_NO_FAST")
+        self.fast = bool(fast)
         #: cumulative probe traffic accounting (intrusiveness studies)
         self.packets_sent = 0
         self.bytes_sent = 0
+        #: streams carried by the analytic fast path / per-packet fallbacks
+        self.fastpath_streams = 0
+        self.fastpath_fallbacks: dict[str, int] = {}
+        # One shadow verification per channel under Simulator(sanitize=True).
+        self._shadow_checked = False
         # Cached tracer: the nil path costs one None-check per stream.
         self._tracer = sim.tracer
         # Per-channel stream ids: flow labels (and hence trace tracks) are
@@ -137,10 +170,41 @@ class ProbeChannel:
                     "period": spec.period,
                 },
             )
-        for seq in range(spec.n_packets):
-            ideal = t0 + seq * spec.period
-            extra = self.jitter.sample() if self.jitter is not None else 0.0
-            self.sim.schedule_at(ideal + extra, self._send_one, run, seq, done)
+        # All context-switch jitter is drawn up front, in sequence order —
+        # exactly the draws (and draw order) the K-upfront-events scheduler
+        # made — and the send order is the sorted (time, seq) sequence the
+        # event heap would have popped, ties included.
+        jitter = self.jitter
+        period = spec.period
+        if jitter is not None:
+            schedule = sorted(
+                (t0 + seq * period + jitter.sample(), seq)
+                for seq in range(spec.n_packets)
+            )
+        else:
+            schedule = [(t0 + seq * period, seq) for seq in range(spec.n_packets)]
+        run.schedule = schedule
+        plan = None
+        if self.fast:
+            plan, reason = plan_stream(self, run, done)
+            if plan is None:
+                self._note_fallback(reason)
+            else:
+                self.fastpath_streams += 1
+                if self._tracer is not None:
+                    self._tracer.metrics.counter(
+                        "repro_fastpath_streams_total",
+                        help="probe streams carried by the analytic "
+                        "stream-transit fast path",
+                    ).inc()
+        else:
+            self._note_fallback("disabled")
+        if plan is None and schedule:
+            # Per-packet path: one self-rescheduling sender callback — a
+            # single outstanding heap entry per in-flight stream, not K.
+            run.claimed = True
+            self.network.claim_per_packet()
+            self.sim.schedule_at(schedule[0][0], self._send_next, run, 0, done)
         # Deadline: everything should have drained well before
         # last send + slack; stragglers after it count as lost.
         slack = (
@@ -151,7 +215,14 @@ class ProbeChannel:
         self.sim.schedule_at(t0 + spec.duration + slack, self._finalize, run, done)
         return done
 
-    def _send_one(self, run: _StreamRun, seq: int, done: Event) -> None:
+    def _send_next(self, run: _StreamRun, i: int, done: Event) -> None:
+        schedule = run.schedule
+        seq = schedule[i][1]
+        i += 1
+        if i < len(schedule):
+            # Reschedule before injecting: send events then sort ahead of
+            # same-instant delivery events, as the K-upfront order did.
+            self.sim.schedule_at(schedule[i][0], self._send_next, run, i, done)
         now = self.sim.now
         pkt = Packet(
             run.spec.packet_size,
@@ -165,6 +236,52 @@ class ProbeChannel:
         self.packets_sent += 1
         self.bytes_sent += pkt.size
         self.network.send_forward(pkt, lambda p, run=run, done=done: self._on_arrival(run, p, done))
+
+    def _note_fallback(self, reason: str) -> None:
+        """Count one per-packet fallback, by reason."""
+        counts = self.fastpath_fallbacks
+        counts[reason] = counts.get(reason, 0) + 1
+        if self._tracer is not None:
+            self._tracer.metrics.counter(
+                "repro_fastpath_fallback_total",
+                labels={"reason": reason},
+                help="probe streams that took the per-packet path, by reason",
+            ).inc()
+
+    def _fast_complete(self, run: _StreamRun, done: Event) -> None:
+        """Planned delivery of the stream-closing packet (seq K-1).
+
+        Commits every planned record delivered up to and including now —
+        later planned deliveries are stragglers, lost exactly as on the
+        per-packet path — then finalizes.
+        """
+        if run.done:
+            return
+        plan = run.plan
+        if plan is not None:
+            plan.commit(self.sim.now, inclusive=True)
+            plan.commit_closed = True
+            run.plan = None
+        self._finalize(run, done)
+
+    def _replay_exit(
+        self, run: _StreamRun, s: float, seq: int, hop: int, done: Event
+    ) -> None:
+        """Revocation continuation: re-materialize an in-flight planned
+        packet at its committed transmission exit from ``hop`` and let the
+        ordinary event-driven machinery carry it the rest of the way."""
+        pkt = Packet(
+            run.spec.packet_size,
+            flow_id=run.flow_id,
+            seq=seq,
+            kind=PacketKind.PROBE,
+            created_at=s,
+            sender_stamp=self.sender_clock.read(s),
+        )
+        pkt.route = self.network.forward_links
+        pkt.hop = hop
+        pkt.handler = lambda p, run=run, done=done: self._on_arrival(run, p, done)
+        self.network._advance(pkt)
 
     def _on_arrival(self, run: _StreamRun, pkt: Packet, done: Event) -> None:
         if run.done:
@@ -183,7 +300,20 @@ class ProbeChannel:
     def _finalize(self, run: _StreamRun, done: Event) -> None:
         if run.done:
             return
+        plan = run.plan
+        if plan is not None:
+            # Deadline finalize with the plan still open.  Strictly-before
+            # commit: a planned delivery at exactly the deadline instant
+            # pops *after* the deadline event (which was inserted at stream
+            # start) on the per-packet path, so it is straggler-lost there
+            # — and therefore here.
+            plan.commit(self.sim.now, inclusive=False)
+            plan.commit_closed = True
+            run.plan = None
         run.done = True
+        if run.claimed:
+            run.claimed = False
+            self.network.release_per_packet()
         measurement = StreamMeasurement(
             spec=run.spec,
             records=run.records,
@@ -249,6 +379,7 @@ def run_pathload(
     start: float = 0.0,
     channel: Optional[ProbeChannel] = None,
     time_limit: Optional[float] = None,
+    fast: Optional[bool] = None,
 ) -> PathloadReport:
     """Convenience wrapper: start pathload at ``start`` and run the
     simulation until it reports.
@@ -258,7 +389,7 @@ def run_pathload(
     non-converging setup in tests.
     """
     if channel is None:
-        channel = ProbeChannel(sim, network)
+        channel = ProbeChannel(sim, network, fast=fast)
     controller = PathloadController(
         config=config,
         rtt=rtt if rtt is not None else network.min_rtt(),

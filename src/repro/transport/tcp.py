@@ -269,6 +269,7 @@ class TCPSender:
         self._in_flight: dict[int, _SegmentInfo] = {}
         self._stopped = False
         self._completed = False
+        self._pp_claimed = False  # holds a network per-packet claim while active
         # statistics
         self.high_water = 0  # highest byte ever sent (go-back-N bookkeeping)
         self.segments_sent = 0
@@ -284,14 +285,28 @@ class TCPSender:
     def start(self, at: Optional[float] = None) -> None:
         """Begin transmitting (now, or at absolute time ``at``)."""
         if at is None:
-            self._try_send()
+            self._begin()
         else:
-            self.sim.schedule_at(at, self._try_send)
+            self.sim.schedule_at(at, self._begin)
+
+    def _begin(self) -> None:
+        # Claim only at the effective start time: a flow scheduled for
+        # t=60 s must not block stream-transit planning before then.
+        if not self._pp_claimed and not self._stopped:
+            self._pp_claimed = True
+            self.network.claim_per_packet()
+        self._try_send()
+
+    def _release_claim(self) -> None:
+        if self._pp_claimed:
+            self._pp_claimed = False
+            self.network.release_per_packet()
 
     def stop(self) -> None:
         """Stop a persistent connection: no new data, timers cancelled."""
         self._stopped = True
         self._cancel_rto()
+        self._release_claim()
 
     @property
     def acked_bytes(self) -> int:
@@ -378,6 +393,7 @@ class TCPSender:
         ):
             self._completed = True
             self._cancel_rto()
+            self._release_claim()
             if self.on_complete is not None:
                 self.on_complete(self)
 

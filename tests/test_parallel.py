@@ -51,6 +51,26 @@ def _counting(seed_entropy):
     return seed_entropy + 1
 
 
+def _tiny_pathload(seed_entropy):
+    """One small single-hop pathload; honors ``REPRO_NO_FAST`` via the
+    default ``fast=None`` resolution inside :class:`ProbeChannel`."""
+    from repro.core.config import PathloadConfig
+    from repro.runner import measure_avail_bw_sim
+
+    report = measure_avail_bw_sim(
+        capacity_bps=10e6,
+        utilization=0.3,
+        seed=seed_entropy,
+        config=PathloadConfig(idle_factor=1.0),
+    )
+    return (
+        report.low_bps,
+        report.high_bps,
+        report.termination,
+        report.n_streams_sent,
+    )
+
+
 # ----------------------------------------------------------------------
 # Seed entropy tokens
 # ----------------------------------------------------------------------
@@ -172,6 +192,40 @@ class TestCache:
             SweepTask(fn=_counting, seed_entropy=1, experiment="unit"),
         ):
             assert cache_key(other) != cache_key(base)
+
+    def test_fast_flag_stays_out_of_cache_key(self, tmp_path, monkeypatch):
+        """Stream-transit fast path is invisible to the cache.
+
+        The fast path is bit-identical to per-packet transit, so (a) the
+        package version — which every cache key folds in — stays at 1.1.0
+        and existing ``.repro_cache/`` trees remain valid, and (b) an entry
+        written by a fast run must satisfy a per-packet run and vice versa:
+        ``REPRO_NO_FAST`` never enters the key.
+        """
+        import repro
+
+        assert repro.__version__ == "1.1.0"
+
+        task = SweepTask(
+            fn=_tiny_pathload, seed_entropy=5, experiment="unit-fast"
+        )
+        monkeypatch.delenv("REPRO_NO_FAST", raising=False)
+        fast = run_sweep([task], jobs=1, cache=True, cache_dir=str(tmp_path))
+        assert [o.cached for o in fast] == [False]
+
+        # Same task under forced per-packet transit: must hit the entry the
+        # fast run wrote (jobs=1 executes in-process, so the monkeypatched
+        # environment is the one any re-simulation would see).
+        monkeypatch.setenv("REPRO_NO_FAST", "1")
+        hit = run_sweep([task], jobs=1, cache=True, cache_dir=str(tmp_path))
+        assert [o.cached for o in hit] == [True]
+        assert sweep_values(hit) == sweep_values(fast)
+
+        # The hit is honest, not a stale alias: an uncached per-packet run
+        # reproduces the value the fast run stored.
+        slow = run_sweep([task], jobs=1, cache=False, cache_dir=str(tmp_path))
+        assert [o.cached for o in slow] == [False]
+        assert sweep_values(slow) == sweep_values(fast)
 
     def test_key_rejects_unstable_kwargs(self):
         task = SweepTask(

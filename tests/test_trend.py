@@ -80,7 +80,10 @@ class TestPDT:
 
     @given(st.lists(st.floats(-1e3, 1e3), min_size=2, max_size=50))
     def test_bounded_plus_minus_one(self, medians):
-        assert -1.0 <= pdt_metric(medians) <= 1.0 + 1e-12
+        # ±1e-12 slop on both bounds: the numerator telescopes in one
+        # subtraction while the denominator is a pairwise sum of |diffs|,
+        # so monotone inputs can land one ulp outside [-1, 1].
+        assert -1.0 - 1e-12 <= pdt_metric(medians) <= 1.0 + 1e-12
 
 
 class TestClassifyPaperRule:
