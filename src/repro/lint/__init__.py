@@ -7,7 +7,7 @@ clock with seeded RNGs.  A stray ``time.time()`` call, an unseeded
 corrupts delay trends.  This package machine-checks those invariants so that
 future refactors and performance work cannot regress correctness undetected.
 
-Rules (each suppressible with ``# simlint: disable=SIM00x``):
+Per-file rules (one module at a time, ``ModuleContext``):
 
 ========  ===============================================================
 SIM001    no wall-clock calls outside the explicit allowlist
@@ -16,17 +16,36 @@ SIM003    no ``==``/``!=`` comparisons on virtual-time expressions
 SIM004    unit-suffix hygiene (``*_bps`` vs ``*_mbps``; magic literals)
 SIM005    no mutable default arguments
 SIM006    sim ``Process`` generator functions must actually ``yield``
+SIM007    no bare ``print()`` in library code
 ========  ===============================================================
 
+Project-level dataflow rules (cross-module, ``ProjectContext`` — module
+symbol tables, an import-resolved call graph, and a reaching-definitions
+walk; see :mod:`repro.lint.dataflow`):
+
+========  ===============================================================
+SIM008    no RNG draws inside unordered (set/dict) iteration
+SIM009    fast-path hooks must be pure; decommission guards must not go
+          stale
+SIM010    sequential FP loops classified VECTOR-SAFE/UNSAFE (the
+          ``vectorization.json`` work list); annotated loops are pinned
+SIM011    sweep task fns must not depend on cross-process shared state
+========  ===============================================================
+
+All rules are suppressible with ``# simlint: disable=SIM0xx`` and
+gate-able behind the ``.simlint-baseline.json`` ratchet (``--strict``).
 Run as ``python -m repro.lint src benchmarks examples`` or via the
-``repro-lint`` console script.  See ``docs/linting.md`` for the full rule
-catalogue, pragma syntax, and allowlist rationale.
+``repro-lint`` console script; ``repro-lint --explain SIM010`` prints a
+rule's full rationale.  See ``docs/linting.md`` for the catalogue,
+pragma syntax, baseline/SARIF workflow, and allowlist rationale.
 """
 
 from __future__ import annotations
 
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .dataflow import ProjectContext
 from .registry import ALL_RULES, Rule, get_rules
-from .report import Finding, render_json, render_text
+from .report import Finding, render_json, render_sarif, render_text
 from .runner import LintResult, lint_paths, lint_source
 
 __all__ = [
@@ -35,8 +54,13 @@ __all__ = [
     "get_rules",
     "Finding",
     "render_json",
+    "render_sarif",
     "render_text",
     "LintResult",
     "lint_paths",
     "lint_source",
+    "ProjectContext",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
 ]

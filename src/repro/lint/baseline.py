@@ -1,0 +1,131 @@
+"""Baseline ratchet: adopt project-wide linting without a flag day.
+
+A baseline file (``.simlint-baseline.json`` at the repo root by default)
+records the findings that existed when the gate was turned on.  Applying
+it splits a run's findings into *new* (fail the build) and *baselined*
+(tolerated, but reported so they can be burned down), and reports *stale*
+baseline entries whose finding no longer occurs — the ratchet only ever
+tightens.
+
+Findings are matched on ``(path suffix, rule id, message)`` with
+multiplicity: line numbers are deliberately not part of the key, so
+unrelated edits that shift a baselined finding up or down a few lines do
+not break the build, while a *second* occurrence of the same finding
+does.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from .report import Finding
+
+__all__ = [
+    "DEFAULT_BASELINE_NAME",
+    "BaselineResult",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+DEFAULT_BASELINE_NAME = ".simlint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+def _key(path: str, rule_id: str, message: str) -> tuple[str, str, str]:
+    # Keep the last two path components so the baseline is stable across
+    # checkouts rooted at different prefixes and across absolute vs
+    # relative invocation (the message disambiguates the rare collision).
+    suffix = "/".join(Path(path).as_posix().split("/")[-2:])
+    return (suffix, rule_id, message)
+
+
+def _finding_key(finding: Finding) -> tuple[str, str, str]:
+    return _key(finding.path, finding.rule_id, finding.message)
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of matching one run's findings against a baseline."""
+
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    #: baseline entries with no matching finding left: candidates for removal
+    stale: list[dict] = field(default_factory=list)
+
+
+def load_baseline(path: Path) -> dict[tuple[str, str, str], int]:
+    """Entry key -> tolerated count. Missing file means an empty baseline."""
+    if not path.is_file():
+        return {}
+    payload = json.loads(path.read_text())
+    counts: dict[tuple[str, str, str], int] = {}
+    for entry in payload.get("findings", []):
+        key = (entry["path"], entry["rule_id"], entry["message"])
+        counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+    return counts
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> int:
+    """Serialize ``findings`` as the new baseline; returns the entry count."""
+    counts: dict[tuple[str, str, str], int] = {}
+    for finding in findings:
+        key = _finding_key(finding)
+        counts[key] = counts.get(key, 0) + 1
+    entries = [
+        {"path": k[0], "rule_id": k[1], "message": k[2], "count": n}
+        for k, n in sorted(counts.items())
+    ]
+    payload = {
+        "version": _FORMAT_VERSION,
+        "comment": (
+            "repro-lint baseline: pre-existing findings tolerated by "
+            "--strict. Regenerate with repro-lint --write-baseline; "
+            "remove entries as they are fixed (the ratchet only tightens)."
+        ),
+        "findings": entries,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return len(entries)
+
+
+def apply_baseline(
+    findings: Iterable[Finding],
+    baseline: dict[tuple[str, str, str], int],
+) -> BaselineResult:
+    """Split findings into new vs baselined and report stale entries."""
+    remaining = dict(baseline)
+    result = BaselineResult()
+    for finding in findings:
+        key = _finding_key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            result.baselined.append(finding)
+        else:
+            result.new.append(finding)
+    for key, count in sorted(remaining.items()):
+        if count > 0:
+            result.stale.append(
+                {"path": key[0], "rule_id": key[1], "message": key[2], "count": count}
+            )
+    return result
+
+
+def find_baseline(paths: Sequence[Path], explicit: Optional[Path]) -> Optional[Path]:
+    """Locate the baseline file: explicit flag wins, else search upward
+    from the first linted path for ``.simlint-baseline.json``."""
+    if explicit is not None:
+        return explicit
+    for start in paths:
+        node = start.resolve()
+        if node.is_file():
+            node = node.parent
+        for candidate in [node, *node.parents]:
+            hit = candidate / DEFAULT_BASELINE_NAME
+            if hit.is_file():
+                return hit
+    return None

@@ -19,17 +19,27 @@ Pragmas are extracted with :mod:`tokenize` so strings containing
 
 from __future__ import annotations
 
+import ast
 import io
 import re
 import tokenize
 from pathlib import PurePosixPath
-from typing import Mapping, Sequence
+from typing import Mapping, Optional, Sequence
 
-__all__ = ["PragmaIndex", "extract_pragmas", "allowlisted"]
+__all__ = [
+    "PragmaIndex",
+    "extract_pragmas",
+    "extract_markers",
+    "allowlisted",
+]
 
 _PRAGMA_RE = re.compile(
     r"#\s*simlint\s*:\s*disable(?:\s*=\s*(?P<rules>[A-Za-z0-9_,\s]+?))?\s*(?:--|$)"
 )
+
+#: Loop annotation consumed by SIM010: the author asserts this loop must
+#: classify VECTOR-SAFE, and the linter holds them to it.
+_MARKER_RE = re.compile(r"#\s*simlint\s*:\s*vector-safe\b")
 
 #: Sentinel meaning "all rules suppressed on this line".
 ALL_RULES_SENTINEL = "*"
@@ -52,8 +62,41 @@ class PragmaIndex:
         return len(self._by_line)
 
 
-def extract_pragmas(source: str) -> PragmaIndex:
+def _statement_spans(tree: ast.Module) -> list[tuple[int, int]]:
+    """``(first_line, last_line)`` for every multi-line statement header.
+
+    For simple statements (a wrapped call, a multi-line assignment) the
+    span is the whole statement.  For compound statements (a decorated
+    def, a ``with``/``for`` header) it is the header only — decorators
+    and signature down to the line before the body — so a pragma on the
+    first line never blankets the entire body.
+    """
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            first = node.lineno
+            decorators = getattr(node, "decorator_list", None) or []
+            for deco in decorators:
+                first = min(first, deco.lineno)
+            last = max(first, body[0].lineno - 1)
+        else:
+            first = node.lineno
+            last = getattr(node, "end_lineno", node.lineno) or node.lineno
+        if last > first:
+            spans.append((first, last))
+    return spans
+
+
+def extract_pragmas(source: str, tree: Optional[ast.Module] = None) -> PragmaIndex:
     """Scan ``source`` for ``# simlint: disable[=...]`` comments.
+
+    With ``tree`` given, a pragma sitting on the *first* line of a
+    multi-line statement (the decorator line of a decorated def, the
+    opening line of a wrapped call) is expanded over that statement's
+    span, so findings reported at inner lines are still suppressed.
 
     Tolerates files :mod:`tokenize` cannot process (the caller will already
     have failed to parse them for the AST pass anyway).
@@ -78,7 +121,32 @@ def extract_pragmas(source: str) -> PragmaIndex:
                 by_line[tok.start[0]] = by_line.get(tok.start[0], frozenset()) | rules
     except (tokenize.TokenError, IndentationError, SyntaxError):
         pass
+    if tree is not None and by_line:
+        for first, last in _statement_spans(tree):
+            rules = by_line.get(first)
+            if rules is None:
+                continue
+            for line in range(first + 1, last + 1):
+                by_line[line] = by_line.get(line, frozenset()) | rules
     return PragmaIndex(by_line)
+
+
+def extract_markers(source: str) -> frozenset[int]:
+    """Loop lines governed by a ``# simlint: vector-safe`` annotation.
+
+    An inline marker governs its own line; a marker on a comment-only
+    line governs the next line (the loop header below it).
+    """
+    lines: set[int] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT and _MARKER_RE.search(tok.string):
+                own_line = tok.line.strip().startswith("#")
+                lines.add(tok.start[0] + 1 if own_line else tok.start[0])
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return frozenset(lines)
 
 
 def allowlisted(

@@ -106,6 +106,94 @@ ALL_RULES: tuple[Rule, ...] = (
             "scripts legitimately write to stdout."
         ),
     ),
+    Rule(
+        id="SIM008",
+        name="rng-in-unordered-iteration",
+        summary=(
+            "RNG draw inside iteration over a set/dict (unordered iteration "
+            "consumes the generator stream in hash-seed-dependent order)"
+        ),
+        rationale=(
+            "Python set iteration order depends on the interpreter hash "
+            "seed, so a loop like ``for flow in active_flows: "
+            "rng.exponential(...)`` draws the same values in a different "
+            "order in every process.  That silently breaks the "
+            "``jobs=1 == jobs=N`` bit-equality contract of repro.parallel: "
+            "each worker would replay the sweep with a differently-ordered "
+            "stream even though the seed entropy is identical.  Iterate a "
+            "``sorted()`` view (or a list with deterministic insertion "
+            "order) wherever a draw happens per element.  Detected "
+            "project-wide: the iterable is chased through assignments with "
+            "the reaching-definitions walk, and draws inside called "
+            "functions are found through the import-resolved call graph."
+        ),
+    ),
+    Rule(
+        id="SIM009",
+        name="impure-fast-path-hook",
+        summary=(
+            "impure callable installed as a deliver/drop_hook/qdisc hook, "
+            "or a stale fast-path decommission guard"
+        ),
+        rationale=(
+            "The bulk cross-traffic path and the analytic stream planner "
+            "are only bit-identical to per-packet simulation when link "
+            "hooks are pure observers: a hook that reschedules, mutates "
+            "link/simulator state, or draws RNG changes the trajectory, so "
+            "installing one must decommission the fast paths (the Link "
+            "property setters revoke in-flight plans and fall back).  This "
+            "rule checks both sides of that contract project-wide: every "
+            "hook installation site is resolved to its function body and "
+            "checked for purity, and the decommission guards themselves "
+            "(Link setters, plan_stream eligibility, CrossAggregator."
+            "register) are cross-checked so they cannot silently go stale."
+        ),
+    ),
+    Rule(
+        id="SIM010",
+        name="vectorizability-classifier",
+        summary=(
+            "sequential FP loop classification (VECTOR-SAFE/UNSAFE work "
+            "list for the vectorized-kernels roadmap item); findings fire "
+            "when a '# simlint: vector-safe' annotated loop stops "
+            "classifying safe"
+        ),
+        rationale=(
+            "Vectorizing a loop-carried float recursion is only "
+            "bit-identical when the accumulation order is preserved: "
+            "prefix sums, running maxima, and the Lindley max-then-add "
+            "recursion (``start = max(free_at, t); free_at = start + tx``) "
+            "map exactly onto np.add.accumulate / np.maximum.accumulate, "
+            "which round left-to-right like the scalar chain.  Drop-tail "
+            "admission branches that read the accumulator back, FIFO purge "
+            "state, RNG draws, and opaque calls do not.  The classifier "
+            "proves which loops are which, records the reason per loop in "
+            "vectorization.json, and pins the result: a loop annotated "
+            "``# simlint: vector-safe`` that regresses to VECTOR-UNSAFE "
+            "fails the lint gate before the vectorization PR ever runs."
+        ),
+    ),
+    Rule(
+        id="SIM011",
+        name="sweep-shared-state",
+        summary=(
+            "sweep task fn depends on cross-process shared state (module "
+            "mutables, nested/lambda fns, environment reads) invisible to "
+            "the cache key"
+        ),
+        rationale=(
+            "run_sweep executes task fns in worker processes and caches "
+            "results under a key folded from the code version, experiment, "
+            "fn qualname, seed entropy, and kwargs.  Anything else the fn "
+            "reads — module-level mutables, os.environ — silently bypasses "
+            "the key, so cached results go stale without invalidation; "
+            "anything it writes stays in the worker and never propagates "
+            "back.  Lambdas and nested defs additionally break pickling by "
+            "reference.  Checked at every SweepTask construction site by "
+            "resolving the fn through the project call graph into its "
+            "defining module."
+        ),
+    ),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}

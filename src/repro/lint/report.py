@@ -1,12 +1,13 @@
-"""Findings and the text / JSON reporters."""
+"""Findings and the text / JSON / SARIF reporters."""
 
 from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass
-from typing import Iterable
+from pathlib import Path
+from typing import Iterable, Optional
 
-__all__ = ["Finding", "render_text", "render_json"]
+__all__ = ["Finding", "render_text", "render_json", "render_sarif"]
 
 
 @dataclass(frozen=True)
@@ -44,3 +45,82 @@ def render_json(findings: Iterable[Finding], files_checked: int = 0) -> str:
         "findings": [asdict(f) for f in findings],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _sarif_uri(path: str, root: Optional[Path]) -> str:
+    """Repo-relative posix URI when ``root`` contains ``path``."""
+    p = Path(path)
+    if root is not None:
+        try:
+            p = p.resolve().relative_to(root.resolve())
+        except ValueError:
+            pass
+    return p.as_posix()
+
+
+def render_sarif(
+    findings: Iterable[Finding],
+    rules: Iterable = (),
+    root: Optional[Path] = None,
+    tool_version: str = "0",
+) -> str:
+    """SARIF 2.1.0 log for GitHub code scanning upload.
+
+    ``rules`` is the active :class:`~repro.lint.registry.Rule` sequence —
+    each becomes a ``reportingDescriptor`` so the code-scanning UI can
+    show the rationale next to the alert.
+    """
+    descriptors = [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in rules
+    ]
+    results = [
+        {
+            "ruleId": f.rule_id,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _sarif_uri(f.path, root),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": max(1, f.line),
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    log = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "version": tool_version,
+                        "rules": descriptors,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)

@@ -282,7 +282,7 @@ class Link:
             # are monotone on a FIFO link — an arrival whose transmission
             # finishes by ``t_now`` would be purged by the trailing pass
             # anyway, so it never enters the in-flight deque at all.
-            while idx < n:
+            while idx < n:  # simlint: vector-safe
                 t = times[idx]
                 if t > t_now:
                     break

@@ -367,7 +367,7 @@ def plan_stream(
             eif_append = end_in_flight.append
             dones_append = a_dones.append
             nxt_append = nxt.append
-            for t, i in cur:
+            for t, i in cur:  # simlint: vector-safe
                 while ci < cn:
                     tc = c_times[ci]
                     if tc > t:

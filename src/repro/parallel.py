@@ -82,6 +82,20 @@ class SweepTask:
     experiment: str = "sweep"
     seed_entropy: Optional[int] = None
 
+    def __post_init__(self) -> None:
+        # Process pools pickle workers by reference, so a lambda or nested
+        # def would fail at submit time with an opaque PicklingError deep
+        # inside concurrent.futures; reject it at construction instead.
+        # (The same hazard is flagged statically at the call site by lint
+        # rule SIM011.)
+        qualname = getattr(self.fn, "__qualname__", "")
+        if "<lambda>" in qualname or "<locals>" in qualname:
+            raise TypeError(
+                f"SweepTask.fn must be a module-level function, got "
+                f"{qualname!r}: process pools pickle workers by reference, "
+                "and the cache key uses the fn's qualified name"
+            )
+
     def describe(self) -> str:
         """Human-readable identity used in failure reports."""
         parts = [f"experiment={self.experiment!r}"]

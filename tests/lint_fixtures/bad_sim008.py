@@ -1,0 +1,48 @@
+"""SIM008 fixture: RNG draws under unordered (set/dict) iteration."""
+
+
+def _draw_one(rng):
+    return rng.pareto(1.5)
+
+
+def direct_draws(rng):
+    out = []
+    flows = {3, 1, 2}
+    for flow in flows:  # reaching defs chase 'flows' back to the set literal
+        out.append(rng.exponential(flow))
+    for flow in {4, 5}:  # set literal in the header
+        out.append(rng.normal(flow))
+    for key in {"a": 1}.keys():  # dict view
+        out.append(rng.random())
+    return out
+
+
+def indirect_draw(rng):
+    total = 0.0
+    for flow in {1, 2}:  # draw happens inside the called helper
+        total += _draw_one(rng)
+    return total
+
+
+def comprehension_draw(rng):
+    return [rng.random() for _ in {6, 7}]
+
+
+def ordered_is_clean(rng):
+    out = []
+    flows = {3, 1, 2}
+    for flow in sorted(flows):  # sorted(): the sanctioned fix
+        out.append(rng.exponential(flow))
+    for flow in flows:  # unordered but no draw: clean
+        out.append(flow)
+    ordered = [9, 8]
+    for flow in ordered:  # list: insertion order is deterministic
+        out.append(rng.normal(flow))
+    return out
+
+
+def suppressed(rng):
+    acc = 0.0
+    for flow in {1, 2}:  # simlint: disable=SIM008 -- commutative sum, order-free
+        acc += rng.random()
+    return acc

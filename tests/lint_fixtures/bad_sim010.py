@@ -1,0 +1,57 @@
+"""SIM010 fixture: vector-safe annotations the classifier must reject.
+
+The classifier itself only produces the work list; findings fire when a
+loop annotated ``# simlint: vector-safe`` fails to classify VECTOR-SAFE.
+"""
+
+
+def lindley_safe(times, sizes, cap):
+    free_at = 0.0
+    total = 0
+    for i in range(len(times)):  # simlint: vector-safe
+        t = times[i]
+        size = sizes[i]
+        start = free_at if free_at > t else t
+        free_at = start + size * 8.0 / cap
+        total += size
+    return free_at, total
+
+
+def drop_tail_annotated(times, sizes, cap, buffer_limit):
+    free_at = 0.0
+    backlog = 0
+    dropped = 0
+    i = 0
+    # simlint: vector-safe
+    while i < len(times):
+        t = times[i]
+        size = sizes[i]
+        if backlog + size > buffer_limit:
+            dropped += 1
+        else:
+            start = free_at if free_at > t else t
+            free_at = start + size * 8.0 / cap
+            backlog += size
+        i += 1
+    return free_at, dropped
+
+
+def annotated_without_recursion(xs):
+    out = []
+    for x in xs:  # simlint: vector-safe
+        out.append(str(x))
+    return out
+
+
+def suppressed_drop_tail(times, cap, buffer_limit):
+    free_at = 0.0
+    backlog = 0
+    # simlint: vector-safe
+    for t in times:  # simlint: disable=SIM010 -- vectorization experiment
+        if backlog + 1 > buffer_limit:
+            backlog = 0
+        else:
+            start = free_at if free_at > t else t
+            free_at = start + 8.0 / cap
+            backlog += 1
+    return free_at

@@ -1,0 +1,48 @@
+"""SIM011 fixture: sweep task fns depending on cross-process shared state."""
+
+from repro.parallel import SweepTask
+
+_RESULTS = []
+_CONFIG = {"mode": "fast"}
+
+
+def _set_slow_mode():
+    _CONFIG["mode"] = "slow"
+
+
+def _worker_clean(seed_entropy, scale):
+    return seed_entropy * scale
+
+
+def _worker_mutates(seed_entropy):
+    _RESULTS.append(seed_entropy)
+    return seed_entropy
+
+
+def _worker_reads_stale(seed_entropy):
+    return (seed_entropy, _CONFIG["mode"])
+
+
+def _worker_env(seed_entropy):
+    import os
+
+    return (seed_entropy, os.getenv("REPRO_MODE"))
+
+
+def build_tasks():
+    tasks = [
+        SweepTask(fn=_worker_clean, kwargs={"scale": 2}, seed_entropy=1),
+        SweepTask(fn=_worker_mutates, seed_entropy=2),
+        SweepTask(fn=_worker_reads_stale, seed_entropy=3),
+        SweepTask(fn=_worker_env, seed_entropy=4),
+        SweepTask(fn=lambda e: e, seed_entropy=5),
+    ]
+
+    def local_worker(seed_entropy):
+        return seed_entropy
+
+    tasks.append(SweepTask(fn=local_worker, seed_entropy=6))
+    tasks.append(
+        SweepTask(fn=_worker_mutates, seed_entropy=7)  # simlint: disable=SIM011 -- exercised deliberately
+    )
+    return tasks

@@ -121,6 +121,26 @@ class TestPoolMatchesSerial:
         assert pooled.rows == serial.rows
 
 
+class TestTaskValidation:
+    """fn must be pickle-by-reference friendly, rejected at construction
+    (the static side of the same contract is lint rule SIM011)."""
+
+    def test_lambda_rejected(self):
+        with pytest.raises(TypeError, match="module-level"):
+            SweepTask(fn=lambda e: e, seed_entropy=1)  # simlint: disable=SIM011 -- asserting this is rejected
+
+    def test_nested_def_rejected(self):
+        def local_worker(seed_entropy):
+            return seed_entropy
+
+        with pytest.raises(TypeError, match="module-level"):
+            SweepTask(fn=local_worker, seed_entropy=1)  # simlint: disable=SIM011 -- asserting this is rejected
+
+    def test_module_level_fn_accepted(self):
+        task = SweepTask(fn=_square, seed_entropy=1)
+        assert task.fn is _square
+
+
 # ----------------------------------------------------------------------
 # Failure capture
 # ----------------------------------------------------------------------
