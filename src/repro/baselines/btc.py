@@ -54,17 +54,22 @@ def run_btc(
     config: Optional[TCPConfig] = None,
     bin_width: float = 1.0,
     settle: float = 0.0,
+    fast: Optional[bool] = None,
 ) -> BTCResult:
     """Run a greedy TCP transfer over ``[t_start, t_end]`` and measure it.
 
     ``settle`` excludes the initial slow-start seconds from the reported
     average (the paper's 5-minute intervals dwarf slow start; shorter
     simulated intervals may not).  The simulation is advanced to ``t_end``
-    as a side effect.
+    as a side effect.  ``fast`` follows the shared fast-path resolution
+    (:func:`repro.netsim.fastpath.resolve_fast`): ``None`` defers to
+    ``REPRO_NO_FAST``.
     """
     if t_end <= t_start:
         raise ValueError("need t_end > t_start")
-    sender, receiver = open_connection(sim, network, config=config, start=t_start)
+    sender, receiver = open_connection(
+        sim, network, config=config, start=t_start, fast=fast
+    )
     sim.run(until=t_end)
     sender.stop()
     measure_from = t_start + settle

@@ -198,7 +198,9 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         # Sweep workers are separate processes; the environment variable is
         # the channel that reaches every ProbeChannel they construct.
         # Results (and cache keys) are identical either way.
-        os.environ["REPRO_NO_FAST"] = "1"
+        from .netsim.fastpath import NO_FAST_ENV
+
+        os.environ[NO_FAST_ENV] = "1"
     tracer = None
     previous = None
     if args.trace:

@@ -255,6 +255,7 @@ class Simulator:
         "_hasher",
         "_events_digested",
         "_last_pop",
+        "_until",
         "diagnostics",
         "tracer",
     )
@@ -267,6 +268,12 @@ class Simulator:
         # Sanitizer mode: extra invariant checks and an event-order digest.
         # Off by default — the checks sit on the per-event hot path.
         self._sanitize = sanitize
+        #: Upper time bound of the active ``run(until=...)`` /
+        #: ``run_until(..., limit=...)`` call, or ``None`` outside a bounded
+        #: run.  Event-eliding domains (``netsim.flowtransit``) read this to
+        #: cap how far they may advance virtual state past the last real
+        #: event without overshooting the caller's stop time.
+        self._until: Optional[float] = None
         self._hasher = hashlib.blake2b(digest_size=16) if sanitize else None
         self._events_digested = 0
         self._last_pop: tuple[float, int] = (-math.inf, -1)
@@ -473,6 +480,7 @@ class Simulator:
         queue = self._queue
         pop = heapq.heappop
         observe = self._sanitize or self.tracer is not None
+        self._until = until
         try:
             if until is None:
                 while queue:
@@ -499,6 +507,7 @@ class Simulator:
                     self._now = until
         finally:
             self._running = False
+            self._until = None
         return self._now
 
     def run_until(self, event: Event, limit: Optional[float] = None) -> Any:
@@ -514,6 +523,7 @@ class Simulator:
         queue = self._queue
         pop = heapq.heappop
         observe = self._sanitize or self.tracer is not None
+        self._until = limit
         try:
             while not event.triggered:
                 if not queue:
@@ -533,6 +543,7 @@ class Simulator:
                 call.fn(*call.args)
         finally:
             self._running = False
+            self._until = None
         return event.value
 
     def pending_count(self) -> int:

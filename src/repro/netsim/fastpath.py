@@ -1,0 +1,38 @@
+"""Shared fast-path opt-out resolution.
+
+Every event-elided data path (bulk cross traffic, analytic probe-stream
+transit, the flow-transit planner) honors the same three-level opt-out:
+
+1. an explicit ``fast=`` argument on the component (``ProbeChannel``,
+   ``TCPSender``, ``Pinger``, ``run_pathload``, ...) wins outright;
+2. otherwise the ``REPRO_NO_FAST`` environment variable disables the
+   fast path (the hook the CLIs' ``--no-fast`` flags and the sweep
+   workers use, since worker processes only inherit the environment);
+3. otherwise the fast path is on.
+
+Results are bit-identical either way; the switch exists for A/B timing
+and for debugging with per-packet event granularity.  This helper is the
+single resolution point so the probe and flow paths (and the CLIs)
+cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = ["resolve_fast", "NO_FAST_ENV"]
+
+#: Environment variable that disables every analytic fast path.
+NO_FAST_ENV = "REPRO_NO_FAST"
+
+
+def resolve_fast(fast: Optional[bool] = None) -> bool:
+    """Resolve an optional ``fast=`` argument against ``REPRO_NO_FAST``.
+
+    ``True``/``False`` are taken as-is; ``None`` (the default everywhere)
+    means "on unless the environment opts out".
+    """
+    if fast is not None:
+        return bool(fast)
+    return not os.environ.get(NO_FAST_ENV)

@@ -359,8 +359,16 @@ class Link:
         a_pairs = agenda.pairs
         ai = agenda.idx
         an = len(a_pairs)
+        a_sizes = agenda.sizes  # per-entry sizes (flow agendas); None = fixed
+        # Flow agendas (a_sizes is not None) store bare arrival times in
+        # ``pairs``; stream agendas store (time, schedule_index) tuples.
+        tupled = a_sizes is None
+        if ai < an:
+            a_t0 = a_pairs[ai][0] if tupled else a_pairs[ai]
+        else:
+            a_t0 = t_now
         cross_due = ci < cn and c_times[ci] <= t_now
-        if not cross_due and (ai >= an or a_pairs[ai][0] > t_now):
+        if not cross_due and (ai >= an or a_t0 > t_now):
             return
         a_accepts = agenda.accepts
         a_dones = agenda.dones
@@ -379,7 +387,10 @@ class Link:
         inf = float("inf")
         while True:
             c_t = c_times[ci] if ci < cn else inf
-            a_t = a_pairs[ai][0] if ai < an else inf
+            if ai < an:
+                a_t = a_pairs[ai][0] if tupled else a_pairs[ai]
+            else:
+                a_t = inf
             if c_t <= a_t:
                 t = c_t
                 if t > t_now:
@@ -404,17 +415,18 @@ class Link:
                     break
                 while in_flight and in_flight[0][0] <= t:
                     backlog -= in_flight.popleft()[1]
+                size = a_size if a_sizes is None else a_sizes[ai]
                 if a_accepts is None or a_accepts[ai]:
                     done = a_dones[ai]
                     free_at = done
-                    in_flight.append((done, a_size))
-                    backlog += a_size
-                    fwd_bytes += a_size
+                    in_flight.append((done, size))
+                    backlog += size
+                    fwd_bytes += size
                     fwd_pkts += 1
                     if tracer is not None:
                         tracer.on_link_enqueue(self.name, backlog)
                 else:
-                    drop_bytes += a_size
+                    drop_bytes += size
                     drop_pkts += 1
                     if tracer is not None:
                         self._backlog_bytes = backlog
@@ -432,7 +444,10 @@ class Link:
             agg.idx = ci
             agg.compact()
         agenda.idx = ai
-        if ai >= an:
+        if ai >= an and not agenda.persistent:
+            # Persistent agendas (the flow-transit planner's) grow as the
+            # virtual walk advances; they are detached explicitly by their
+            # owner, never by fold exhaustion.
             self._agenda = None
 
     def _decommission(self) -> None:

@@ -65,6 +65,14 @@ class PathNetwork:
         # on it — any unclaimed send still revokes at the link chokepoint.
         self._plan = None
         self._pp_claims = 0
+        # Flow-transit support (repro.netsim.flowtransit): the live domain
+        # carrying planned TCP flows (and adopted probe streams), plus
+        # programmatic counters — flows planned, per-packet fallbacks by
+        # reason, and (t_attach, t_detach, flow_id, segments) spans.
+        self._flow_domain = None
+        self._ft_flows = 0
+        self._ft_fallbacks: dict[str, int] = {}
+        self._ft_spans: list[tuple[float, float, str, int]] = []
         for link in (*self.forward_links, *self.reverse_links):
             link.deliver = self._advance
 

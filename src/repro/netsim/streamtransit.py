@@ -87,6 +87,8 @@ class HopAgenda:
         "dones",
         "exit_pairs",
         "size",
+        "sizes",
+        "persistent",
         "proto",
         "plan",
         "idx",
@@ -102,13 +104,32 @@ class HopAgenda:
         "d_drop_pkts",
     )
 
-    def __init__(self, link, pairs, accepts, dones, exit_pairs, size, proto, plan):
+    def __init__(
+        self,
+        link,
+        pairs,
+        accepts,
+        dones,
+        exit_pairs,
+        size,
+        proto,
+        plan,
+        sizes=None,
+        persistent=False,
+    ):
         self.link = link
         self.pairs = pairs
         self.accepts = accepts
         self.dones = dones
         self.exit_pairs = exit_pairs
         self.size = size
+        # Probe-stream agendas carry fixed-size packets (``sizes is None``);
+        # flow-transit agendas mix segment and ack sizes per entry.
+        self.sizes = sizes
+        # Persistent agendas (flow-transit) grow over time and are detached
+        # by their owner, not by fold exhaustion; ``t_end`` is +inf so the
+        # wholesale fast-forward branch in Link.sync() never fires.
+        self.persistent = persistent
         self.proto = proto  # template Packet for fold-time drop tracing
         self.plan = plan
         self.idx = 0
@@ -183,14 +204,16 @@ class StreamPlan:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def retire_or_revoke(self) -> None:
+    def retire_or_revoke(self, reason: str = "stream-overlap") -> None:
         """Fold everything due; revert any future stragglers to per-packet.
 
         Called when a new stream starts planning while this plan is still
-        installed.  If every planned admission has already happened the
-        plan simply detaches; otherwise the straggling packets (possible
-        only when the stream finalized at its deadline with packets still
-        queued) are handed back to the event-driven path.
+        installed (``reason="stream-overlap"``), or when a TCP flow is
+        about to attach to the flow-transit domain (``"foreign-send"`` —
+        the flow's first per-packet segment would have revoked the plan
+        under that name anyway).  If every planned admission has already
+        happened the plan simply detaches; otherwise the straggling
+        packets are handed back to the event-driven path.
         """
         pending = False
         for agenda in self.agendas:
@@ -200,7 +223,7 @@ class StreamPlan:
                 if link._agenda is agenda:
                     pending = True
         if pending:
-            self.revoke("stream-overlap")
+            self.revoke(reason)
         else:
             self.revoked = True
             if self.network._plan is self:
@@ -308,6 +331,12 @@ def plan_stream(
     per-packet path; the sample path is identical either way.
     """
     network = channel.network
+    domain = getattr(network, "_flow_domain", None)
+    if domain is not None and domain.alive:
+        # A flow-transit domain owns the hop agendas: probe streams are
+        # adopted into its virtual walk instead of planning solo, so a
+        # *planned* foreground flow no longer forces the per-packet path.
+        return domain.adopt_stream(channel, run, done_event)
     prev = network._plan
     if prev is not None:
         prev.retire_or_revoke()

@@ -31,8 +31,12 @@ def run_pathload_on_path(
 ) -> PathloadReport:
     """Run one pathload measurement over an already-built network.
 
-    ``fast`` controls the stream-transit fast path (default: on unless
-    ``REPRO_NO_FAST`` is set); results are bit-identical either way.
+    ``fast`` follows the shared resolution in
+    :func:`repro.netsim.fastpath.resolve_fast`, the same three-level
+    opt-out every event-elided path (stream transit, flow transit, bulk
+    cross traffic) honors: an explicit argument wins, else
+    ``REPRO_NO_FAST`` disables, else on.  Results are bit-identical
+    either way.
     """
     return run_pathload(
         sim, network, config=config, start=start, time_limit=time_limit, fast=fast

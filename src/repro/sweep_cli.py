@@ -101,7 +101,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.no_fast:
         # Worker processes inherit the environment; the flag never enters
         # cache keys because the two data paths are bit-identical.
-        os.environ["REPRO_NO_FAST"] = "1"
+        from .netsim.fastpath import NO_FAST_ENV
+
+        os.environ[NO_FAST_ENV] = "1"
 
     if args.clear_cache:
         from .parallel import clear_cache, default_cache_dir

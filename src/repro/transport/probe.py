@@ -21,7 +21,6 @@ Host imperfections are explicit and optional:
 from __future__ import annotations
 
 import itertools
-import os
 from typing import Optional
 
 import numpy as np
@@ -30,6 +29,7 @@ from ..core.pathload import PathloadController, PathloadReport
 from ..core.probing import Idle, PacketRecord, SendStream, StreamMeasurement, StreamSpec
 from ..netsim.clock import Clock, PerfectClock
 from ..netsim.engine import Event, Process, Simulator
+from ..netsim.fastpath import resolve_fast
 from ..netsim.packet import Packet, PacketKind
 from ..netsim.path import PathNetwork
 from ..netsim.streamtransit import plan_stream
@@ -131,9 +131,7 @@ class ProbeChannel:
         self.control_delay = (
             control_delay if control_delay is not None else network.min_rtt() / 2.0
         )
-        if fast is None:
-            fast = not os.environ.get("REPRO_NO_FAST")
-        self.fast = bool(fast)
+        self.fast = resolve_fast(fast)
         #: cumulative probe traffic accounting (intrusiveness studies)
         self.packets_sent = 0
         self.bytes_sent = 0

@@ -21,9 +21,11 @@ halves, and the sawtooth repeats.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from ..netsim import flowtransit
 from ..netsim.engine import ScheduledCall, Simulator
 from ..netsim.packet import Packet, PacketKind
 from ..netsim.path import PathNetwork
@@ -137,14 +139,15 @@ class TCPReceiver:
         """Average goodput over ``[t_from, t_to]`` from the delivery log."""
         if t_to <= t_from:
             raise ValueError("need t_to > t_from")
-        start = end = None
-        for t, b in self.delivered_log:
-            if t <= t_from:
-                start = b
-            if t <= t_to:
-                end = b
-        start = start if start is not None else 0
-        end = end if end is not None else start
+        # The log is appended in event order, so both lookups ("last
+        # cumulative count at or before t") are binary searches; the
+        # linear scan this replaces made binned sampling O(bins * log).
+        log = self.delivered_log
+        inf = float("inf")
+        i = bisect_right(log, (t_from, inf))
+        j = bisect_right(log, (t_to, inf))
+        start = log[i - 1][1] if i else 0
+        end = log[j - 1][1] if j else start
         return (end - start) * 8.0 / (t_to - t_from)
 
     def binned_throughput_bps(
@@ -226,6 +229,7 @@ class TCPSender:
         total_bytes: Optional[int] = None,
         flow_id: Optional[str] = None,
         on_complete: Optional[Callable[["TCPSender"], None]] = None,
+        fast: Optional[bool] = None,
     ):
         self.sim = sim
         self.network = network
@@ -270,6 +274,11 @@ class TCPSender:
         self._stopped = False
         self._completed = False
         self._pp_claimed = False  # holds a network per-packet claim while active
+        # Flow-transit fast path: resolved at _begin; while attached the
+        # domain owns this flow's events and no per-packet claim is held.
+        self._fast = fast
+        self._ft: Optional["flowtransit.FlowTransitDomain"] = None
+        self._ft_fs = None
         # statistics
         self.high_water = 0  # highest byte ever sent (go-back-N bookkeeping)
         self.segments_sent = 0
@@ -290,6 +299,10 @@ class TCPSender:
             self.sim.schedule_at(at, self._begin)
 
     def _begin(self) -> None:
+        if not self._stopped and self._ft is None:
+            if flowtransit.try_attach_flow(self):
+                self._try_send()
+                return
         # Claim only at the effective start time: a flow scheduled for
         # t=60 s must not block stream-transit planning before then.
         if not self._pp_claimed and not self._stopped:
@@ -304,6 +317,8 @@ class TCPSender:
 
     def stop(self) -> None:
         """Stop a persistent connection: no new data, timers cancelled."""
+        if self._ft is not None:
+            self._ft.on_flow_stop(self)
         self._stopped = True
         self._cancel_rto()
         self._release_claim()
@@ -583,6 +598,7 @@ def open_connection(
     total_bytes: Optional[int] = None,
     start: Optional[float] = None,
     on_complete: Optional[Callable[[TCPSender], None]] = None,
+    fast: Optional[bool] = None,
 ) -> tuple[TCPSender, TCPReceiver]:
     """Wire up a sender/receiver pair over ``network`` and start it."""
     cfg = config if config is not None else TCPConfig()
@@ -594,6 +610,7 @@ def open_connection(
         config=cfg,
         total_bytes=total_bytes,
         on_complete=on_complete,
+        fast=fast,
     )
     sender.start(at=start)
     return sender, receiver

@@ -38,6 +38,10 @@ FAST = PathloadConfig(idle_factor=1.0)
 # ----------------------------------------------------------------------
 class TestTracedRunsAreBitIdentical:
     def test_engine_digest_with_tcp_and_drops(self):
+        # A tracer-attached run refuses the flow-transit domain, so its
+        # event stream is the per-packet one: compare it against an
+        # untraced run with the fast path disabled (cross-mode digests
+        # differ by design — the domain elides engine events).
         def run(tracer):
             sim = Simulator(sanitize=True)
             if tracer is not None:
@@ -51,8 +55,19 @@ class TestTracedRunsAreBitIdentical:
             sim.run(until=10.0)
             return sim.digest()
 
+        def run_per_packet():
+            sim = Simulator(sanitize=True)
+            net = build_path(
+                sim, [LinkSpec(4e6, prop_delay=0.02, buffer_bytes=20_000, name="b")]
+            )
+            open_connection(sim, net, total_bytes=300_000, start=0.0, fast=False)
+            sim.run(until=10.0)
+            return sim.digest()
+
         tracer = Tracer()
-        assert run(tracer) == run(None)
+        assert run(tracer) == run_per_packet()
+        # ... and the planned (untraced, fast) run is itself reproducible.
+        assert run(None) == run(None)
         # ... and the trace is non-trivial: drops and cwnd events happened
         cats = {e.cat for e in tracer.events}
         assert {"link", "tcp"} <= cats

@@ -47,6 +47,7 @@ def run_streams(
     sanitize=False,
     tcp_at=None,
     tcp_bytes=120_000,
+    tcp_fast=None,
     monitor_at=(),
     qdisc_hop=None,
     clocks=None,
@@ -90,7 +91,9 @@ def run_streams(
         fast=fast,
     )
     if tcp_at is not None:
-        open_connection(sim, net, total_bytes=tcp_bytes, start=tcp_at)
+        open_connection(
+            sim, net, total_bytes=tcp_bytes, start=tcp_at, fast=tcp_fast
+        )
     backlog_samples = []
     for t in monitor_at:
         sim.schedule_at(
@@ -119,7 +122,9 @@ def run_streams(
     return measurements, stats, backlog_samples, chan, sim
 
 
-def run_quick_pathload(fast, seed=11, utilization=0.3, tcp_at=None, tracer=None):
+def run_quick_pathload(
+    fast, seed=11, utilization=0.3, tcp_at=None, tcp_fast=None, tracer=None
+):
     """One short single-hop pathload; returns (report, stats, channel)."""
     sim = Simulator()
     if tracer is not None:
@@ -130,7 +135,9 @@ def run_quick_pathload(fast, seed=11, utilization=0.3, tcp_at=None, tracer=None)
         tracer.register_network(setup.network)
     chan = ProbeChannel(sim, setup.network, fast=fast)
     if tcp_at is not None:
-        open_connection(sim, setup.network, total_bytes=150_000, start=tcp_at)
+        open_connection(
+            sim, setup.network, total_bytes=150_000, start=tcp_at, fast=tcp_fast
+        )
     report = run_pathload(
         sim, setup.network, start=2.0, channel=chan, time_limit=600.0
     )
@@ -235,10 +242,13 @@ class TestRefusal:
         assert chan.fastpath_fallbacks == {"impure-clock": 2}
 
     def test_active_foreground_flow_refuses_planning(self):
-        # TCP attached before the first stream: the network is claimed for
-        # per-packet operation the whole time, so planning is refused.
+        # A *per-packet* TCP flow attached before the first stream claims
+        # the network the whole time, so planning is refused.  (A planner-
+        # managed flow no longer claims — probe coexistence with planned
+        # flows is covered in tests/test_flowtransit.py.)
         kwargs = dict(
-            tcp_at=1.50007, tcp_bytes=30_000_000, n_streams=2, utilization=0.3
+            tcp_at=1.50007, tcp_bytes=30_000_000, tcp_fast=False,
+            n_streams=2, utilization=0.3,
         )
         mf, sf, _, chan, _ = run_streams(True, **kwargs)
         assert chan.fastpath_streams == 0
@@ -268,8 +278,10 @@ class TestRevocation:
         assert sf == ss
 
     def test_pathload_with_tcp_crossfire(self):
-        rf, sf, chf = run_quick_pathload(True, tcp_at=2.01003)
-        rs, ss, _ = run_quick_pathload(False, tcp_at=2.01003)
+        # The crossfire flow runs per-packet so its first segment is a
+        # foreign send that revokes at least one installed stream plan.
+        rf, sf, chf = run_quick_pathload(True, tcp_at=2.01003, tcp_fast=False)
+        rs, ss, _ = run_quick_pathload(False, tcp_at=2.01003, tcp_fast=False)
         assert rf == rs and sf == ss
         assert chf.fastpath_fallbacks.get("foreign-send", 0) >= 1
 
