@@ -92,6 +92,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "only trades speed for an event-per-packet run)"
         ),
     )
+    measure.add_argument(
+        "--no-vector",
+        action="store_true",
+        help=(
+            "disable the NumPy planning kernels inside the fast path "
+            "(sets REPRO_NO_VECTOR; results are bit-identical, the "
+            "analytic planner just walks its scalar loops)"
+        ),
+    )
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument(
@@ -125,6 +134,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "slower — cache entries are shared either way)"
         ),
     )
+    figure.add_argument(
+        "--no-vector",
+        action="store_true",
+        help=(
+            "disable the NumPy planning kernels (sets REPRO_NO_VECTOR "
+            "for the sweep workers; bit-identical, cache entries are "
+            "shared either way)"
+        ),
+    )
     return parser
 
 
@@ -143,6 +161,10 @@ def _cmd_measure(args: argparse.Namespace) -> int:
         tracer = Tracer()
     buffer_bytes = int(args.buffer_kb * 1000) if args.buffer_kb else None
     fast = False if args.no_fast else None
+    if args.no_vector:
+        from .netsim.fastpath import NO_VECTOR_ENV
+
+        os.environ[NO_VECTOR_ENV] = "1"
     if args.hops <= 1:
         report = measure_avail_bw_sim(
             capacity_bps=capacity,
@@ -201,6 +223,10 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         from .netsim.fastpath import NO_FAST_ENV
 
         os.environ[NO_FAST_ENV] = "1"
+    if args.no_vector:
+        from .netsim.fastpath import NO_VECTOR_ENV
+
+        os.environ[NO_VECTOR_ENV] = "1"
     tracer = None
     previous = None
     if args.trace:

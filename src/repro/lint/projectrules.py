@@ -409,6 +409,11 @@ class LoopReport:
     reasons: list[str] = field(default_factory=list)
     accumulators: dict[str, str] = field(default_factory=dict)
     annotated: bool = False
+    #: The enclosing scope dispatches to ``netsim.kernels`` (or the loop
+    #: lives inside that module): a sanctioned vectorized twin exists, so
+    #: the loop is the fallback half of a kernel pair, not an open
+    #: vectorization opportunity.
+    kernelized: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -422,6 +427,7 @@ class LoopReport:
             "reasons": list(self.reasons),
             "accumulators": dict(self.accumulators),
             "annotated": self.annotated,
+            "kernelized": self.kernelized,
         }
 
 
@@ -916,7 +922,9 @@ def classify_loops(project: ProjectContext) -> list[LoopReport]:
     reports: list[LoopReport] = []
     for table in sorted(project.modules.values(), key=lambda t: t.path):
         markers = project.markers.get(table.path, frozenset())
+        in_kernels = table.name.endswith("netsim.kernels")
         for qualname, scope in table.scopes:
+            kernelized = in_kernels or _dispatches_to_kernels(scope)
             reaching = project.reaching(table, scope)
             for loop in _loops_in(scope):
                 report = _classify_loop(
@@ -944,9 +952,26 @@ def classify_loops(project: ProjectContext) -> list[LoopReport]:
                     else:
                         continue
                 report.annotated = loop.lineno in markers
+                report.kernelized = kernelized
                 reports.append(report)
     reports.sort(key=lambda r: (r.path, r.line))
     return reports
+
+
+def _dispatches_to_kernels(scope: ast.AST) -> bool:
+    """True if the scope calls into ``netsim.kernels``.
+
+    A scalar loop next to a ``kernels.<fn>(...)`` call is the fallback
+    half of a bit-identity kernel pair — sanctioned, not an open work
+    item.  Only same-scope dispatch counts: the pairing contract is that
+    the kernel and its scalar twin sit side by side behind one gate.
+    """
+    for node in walk_scope(scope):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            chain = attr_chain(node.func)
+            if chain is not None and chain.startswith("kernels."):
+                return True
+    return False
 
 
 class VectorizabilityChecker:

@@ -41,6 +41,8 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
+from . import kernels
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from .crosstraffic import CrossTrafficSource
     from .engine import Simulator
@@ -87,6 +89,9 @@ class CrossAggregator:
         "_event",
         "_merge_pending",
         "_horizon",
+        "_mirror_t",
+        "_mirror_s",
+        "_mirror_lo",
     )
 
     def __init__(self, sim: "Simulator", link: "Link"):
@@ -103,6 +108,17 @@ class CrossAggregator:
         # Merged coverage: every arrival ≤ _horizon is final (safe-horizon
         # invariant).  -inf until the first merge, +inf once all feeds end.
         self._horizon = -math.inf
+        # Array mirror of the merged tail: ``_mirror_lo`` is the flat
+        # index (in ``times`` coordinates) of chunk 0's first element,
+        # and the chunks' concatenation covers ``times[_mirror_lo:]``
+        # through the end.  ``_mirror_lo`` goes negative when compaction
+        # trims a partially consumed chunk; it is None while the vector
+        # kernels are off — the mirror restarts at the next merge that
+        # produces arrays.  Lets the fold kernels consume merged slices
+        # without re-converting the Python lists element by element.
+        self._mirror_t: list[np.ndarray] = []
+        self._mirror_s: list[np.ndarray] = []
+        self._mirror_lo: Optional[int] = 0
 
     @classmethod
     def attach(cls, sim: "Simulator", link: "Link") -> "CrossAggregator":
@@ -147,6 +163,9 @@ class CrossAggregator:
         """Return unadmitted merged entries to their feeds (rare path)."""
         times, sizes, owners, idx = self.times, self.sizes, self.owners, self.idx
         self._horizon = -math.inf  # a new source invalidates merged coverage
+        self._mirror_t.clear()
+        self._mirror_s.clear()
+        self._mirror_lo = 0
         if idx >= len(times):
             del times[:], sizes[:], owners[:]
             self.idx = 0
@@ -184,36 +203,77 @@ class CrossAggregator:
         horizons = [feed.times[-1] for feed in self.feeds if not feed.done]
         safe = min(horizons) if horizons else math.inf
         self._horizon = safe
-        parts_t: list[np.ndarray] = []
-        parts_s: list[np.ndarray] = []
+        parts_t: list[list[float]] = []
+        parts_s: list[list[int]] = []
         part_feeds: list[_Feed] = []
         times, sizes, owners = self.times, self.sizes, self.owners
         for feed in self.feeds:
             if feed.times and feed.times[0] <= safe:
                 cut = bisect.bisect_right(feed.times, safe)
-                parts_t.append(np.asarray(feed.times[:cut], dtype=np.float64))
-                parts_s.append(np.asarray(feed.sizes[:cut], dtype=np.int64))
+                parts_t.append(feed.times[:cut])
+                parts_s.append(feed.sizes[:cut])
                 part_feeds.append(feed)
                 del feed.times[:cut]
                 del feed.sizes[:cut]
-        if len(parts_t) == 1:
-            # Single contributing source (single-source links, and every
-            # horizon where only the binding feed refilled past the others'
-            # heads): splice its due prefix wholesale, no sort.
-            times.extend(parts_t[0].tolist())
-            sizes.extend(parts_s[0].tolist())
-            owners.extend([part_feeds[0].source] * len(parts_s[0]))
-        elif parts_t:
-            cat_t = np.concatenate(parts_t)
-            order = np.argsort(cat_t, kind="stable")
-            times.extend(cat_t[order].tolist())
-            sizes.extend(np.concatenate(parts_s)[order].tolist())
-            feed_idx = np.concatenate(
-                [np.full(len(p), i, dtype=np.intp) for i, p in enumerate(parts_t)]
-            )[order]
-            srcs = [feed.source for feed in part_feeds]
-            owners.extend([srcs[i] for i in feed_idx.tolist()])
+        if parts_t:
+            mt, ms, part_idx, t_arr, s_arr = kernels.merge_parts(
+                parts_t, parts_s
+            )
+            times.extend(mt)
+            sizes.extend(ms)
+            if part_idx is None:
+                # Single contributing source (single-source links, and
+                # every horizon where only the binding feed refilled past
+                # the others' heads): its due prefix spliced wholesale.
+                owners.extend([part_feeds[0].source] * len(mt))
+            else:
+                srcs = [feed.source for feed in part_feeds]
+                owners.extend([srcs[i] for i in part_idx])
+            if t_arr is not None:
+                self._mirror_append(t_arr, s_arr)
+            elif self._mirror_lo is not None:
+                # Kernels off for this merge: coverage of the tail broke.
+                self._mirror_t.clear()
+                self._mirror_s.clear()
+                self._mirror_lo = None
         self._reschedule(safe if horizons else None)
+
+    def _mirror_append(self, t_arr: np.ndarray, s_arr: np.ndarray) -> None:
+        """Extend (or restart) array-mirror coverage with a merged chunk."""
+        if self._mirror_lo is None:
+            self._mirror_lo = len(self.times) - len(t_arr)
+        self._mirror_t.append(t_arr)
+        self._mirror_s.append(s_arr)
+
+    def arrays(self, lo: int, hi: int) -> Optional[tuple]:
+        """Merged slice ``[lo:hi)`` as ``(float64, int64)`` array views.
+
+        Returns None when the mirror does not cover the range (kernels
+        were off when those entries merged).  The common case — one
+        chunk spans the whole request — returns zero-copy views; ranges
+        crossing chunks pay one concatenate.
+        """
+        mlo = self._mirror_lo
+        if mlo is None or lo < mlo or hi <= lo:
+            return None
+        out_t: list[np.ndarray] = []
+        out_s: list[np.ndarray] = []
+        pos = mlo
+        for ct, cs in zip(self._mirror_t, self._mirror_s):
+            end = pos + len(ct)
+            if end > lo:
+                a = max(lo, pos) - pos
+                b = min(hi, end) - pos
+                out_t.append(ct[a:b])
+                out_s.append(cs[a:b])
+                if end >= hi:
+                    break
+            pos = end
+        if sum(len(c) for c in out_t) != hi - lo:  # pragma: no cover
+            return None  # coverage guard; tail invariant should prevent it
+        if len(out_t) == 1:
+            return out_t[0], out_s[0]
+        return np.concatenate(out_t), np.concatenate(out_s)
 
     def _reschedule(self, safe: Optional[float]) -> None:
         """Point the single refill-horizon event at ``safe`` (None: none)."""
@@ -262,6 +322,14 @@ class CrossAggregator:
             del self.sizes[:idx]
             del self.owners[:idx]
             self.idx = 0
+            if self._mirror_lo is not None:
+                lo = self._mirror_lo - idx
+                chunks_t, chunks_s = self._mirror_t, self._mirror_s
+                while chunks_t and lo + len(chunks_t[0]) <= 0:
+                    lo += len(chunks_t[0])
+                    del chunks_t[0]
+                    del chunks_s[0]
+                self._mirror_lo = lo
 
     def release(self) -> None:
         """Hand every source back to the per-packet path.
@@ -289,6 +357,9 @@ class CrossAggregator:
             ss.append(sizes[i])
         del times[:], sizes[:], owners[:]
         self.idx = 0
+        self._mirror_t.clear()
+        self._mirror_s.clear()
+        self._mirror_lo = 0
         feeds, self.feeds = self.feeds, []
         for feed in feeds:
             ts, ss = pending[feed]

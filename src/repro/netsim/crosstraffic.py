@@ -40,6 +40,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from . import kernels
 from .bulkarrivals import CrossAggregator
 from .engine import Simulator
 from .link import Link
@@ -259,10 +260,18 @@ class CrossTrafficSource:
         agg = self.link._agg
         if agg is not None:
             owners, sizes = agg.owners, agg.sizes
-            for i in range(agg.idx, len(owners)):
-                if owners[i] is self:
-                    n += 1
-                    nbytes += sizes[i]
+            lo, hi = agg.idx, len(owners)
+            got = None
+            if hi - lo >= kernels.MIN_BATCH:
+                got = kernels.masked_pending(owners, sizes, lo, hi, self)
+            if got is not None:
+                n += got[0]
+                nbytes += got[1]
+            else:
+                for i in range(lo, hi):
+                    if owners[i] is self:
+                        n += 1
+                        nbytes += sizes[i]
         return n, nbytes
 
     def _bulk_eligible(self) -> bool:
@@ -376,13 +385,13 @@ class CrossTrafficSource:
         gaps = self._gaps
         sizes = self._sizes
         self._idx = len(sizes)  # the whole batch is consumed by this horizon
-        # np.add.accumulate rounds left-to-right, one addition per element —
-        # bit-identical to the per-packet path's running ``t += gap``.
-        acc = np.empty(len(gaps) + (0 if skip_first_gap else 1), dtype=np.float64)
-        acc[0] = self._bulk_clock
-        acc[1:] = gaps[1:] if skip_first_gap else gaps
-        times = np.add.accumulate(acc).tolist()
-        if not skip_first_gap:
+        # The prefix-sum kernel rounds left-to-right, one addition per
+        # element — bit-identical to the per-packet path's running
+        # ``t += gap`` — on both its numpy and scalar paths.
+        if skip_first_gap:
+            times = kernels.prefix_sum(self._bulk_clock, gaps[1:])
+        else:
+            times = kernels.prefix_sum(self._bulk_clock, gaps)
             del times[0]
         self._bulk_clock = times[-1]
         stop = self.stop

@@ -1,4 +1,4 @@
-"""Shared fast-path opt-out resolution.
+"""Shared fast-path / vector-kernel opt-out resolution.
 
 Every event-elided data path (bulk cross traffic, analytic probe-stream
 transit, the flow-transit planner) honors the same three-level opt-out:
@@ -10,10 +10,16 @@ transit, the flow-transit planner) honors the same three-level opt-out:
    workers use, since worker processes only inherit the environment);
 3. otherwise the fast path is on.
 
-Results are bit-identical either way; the switch exists for A/B timing
+The vectorized planning kernels (:mod:`repro.netsim.kernels`) honor the
+same precedence under their own switch, ``REPRO_NO_VECTOR`` (CLI flag
+``--no-vector``): the two axes are independent, so a run can take the
+analytic fast paths while forcing every inner fold through the scalar
+loops, or vice versa.
+
+Results are bit-identical either way; the switches exist for A/B timing
 and for debugging with per-packet event granularity.  This helper is the
-single resolution point so the probe and flow paths (and the CLIs)
-cannot drift apart.
+single resolution point so the probe and flow paths, the kernels, and
+the CLIs cannot drift apart.
 """
 
 from __future__ import annotations
@@ -21,10 +27,20 @@ from __future__ import annotations
 import os
 from typing import Optional
 
-__all__ = ["resolve_fast", "NO_FAST_ENV"]
+__all__ = ["resolve_fast", "resolve_vector", "NO_FAST_ENV", "NO_VECTOR_ENV"]
 
 #: Environment variable that disables every analytic fast path.
 NO_FAST_ENV = "REPRO_NO_FAST"
+
+#: Environment variable that disables the vectorized planning kernels.
+NO_VECTOR_ENV = "REPRO_NO_VECTOR"
+
+
+def _resolve(flag: Optional[bool], env_var: str) -> bool:
+    """Shared precedence: explicit flag wins, else env opt-out, else on."""
+    if flag is not None:
+        return bool(flag)
+    return not os.environ.get(env_var)
 
 
 def resolve_fast(fast: Optional[bool] = None) -> bool:
@@ -33,6 +49,13 @@ def resolve_fast(fast: Optional[bool] = None) -> bool:
     ``True``/``False`` are taken as-is; ``None`` (the default everywhere)
     means "on unless the environment opts out".
     """
-    if fast is not None:
-        return bool(fast)
-    return not os.environ.get(NO_FAST_ENV)
+    return _resolve(fast, NO_FAST_ENV)
+
+
+def resolve_vector(vector: Optional[bool] = None) -> bool:
+    """Resolve an optional ``vector=`` argument against ``REPRO_NO_VECTOR``.
+
+    Same precedence as :func:`resolve_fast`.  A ``False`` result routes
+    every kernel call site to its scalar twin loop.
+    """
+    return _resolve(vector, NO_VECTOR_ENV)

@@ -60,10 +60,12 @@ divergence.
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_right
 from collections import deque
 from typing import TYPE_CHECKING, Optional
 
 from ..core.probing import PacketRecord
+from . import kernels
 from .engine import SimulationError
 from .fastpath import resolve_fast
 from .packet import Packet, PacketKind
@@ -413,6 +415,28 @@ class FlowTransitDomain:
         infl = vl.infl
         cap = vl.cap
         buffer_bytes = vl.buffer_bytes
+        if buffer_bytes is None:
+            # Infinite buffer: the whole slice folds unconditionally, so
+            # the vector Lindley kernel applies.  The scalar loop's final
+            # state is "every entry completing after the last folded
+            # arrival, plus the purge/backlog that implies" — exactly the
+            # kernel's ``keep_after = tc_last`` contract.
+            cut = bisect_right(c_times, t, ci, cn)
+            if cut - ci >= kernels.MIN_BATCH and kernels.enabled():
+                tc_last = c_times[cut - 1]
+                folded = kernels.fold_slice(
+                    free_at, c_times, c_sizes, ci, cut, cap, tc_last,
+                    agg.arrays(ci, cut),
+                )
+                if folded is not None:
+                    free_at, kept, kept_bytes, _fold_bytes = folded
+                    while infl and infl[0][0] <= tc_last:
+                        backlog -= infl.popleft()[1]
+                    infl.extend(kept)
+                    vl.vci = cut
+                    vl.free_at = free_at
+                    vl.backlog = backlog + kept_bytes
+                    return
         while ci < cn:
             tc = c_times[ci]
             if tc > t:
@@ -503,10 +527,8 @@ class FlowTransitDomain:
         if not vheap:
             return
         now = sim._now
-        q = sim._queue
-        while q and q[0][2].cancelled:
-            heappop(q)
-        cap = q[0][0] if q else _INF
+        head = sim.peek_time()
+        cap = head if head is not None else _INF
         until = sim._until
         if until is not None and until < cap:
             cap = until

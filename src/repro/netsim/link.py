@@ -36,9 +36,11 @@ future sample path is unchanged; see ``docs/performance.md``).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import deque
 from typing import Callable, Optional
 
+from . import kernels
 from .engine import Simulator
 from .packet import Packet
 
@@ -245,7 +247,7 @@ class Link:
                 stats.packets_forwarded += agenda.d_fwd_pkts
                 stats.bytes_dropped += agenda.d_drop_bytes
                 stats.packets_dropped += agenda.d_drop_pkts
-                agenda.idx = len(agenda.pairs)
+                agenda.idx = agenda.count()
                 self._agenda = None
                 if agg is None:
                     self._purge(t_now)
@@ -282,19 +284,34 @@ class Link:
             # are monotone on a FIFO link — an arrival whose transmission
             # finishes by ``t_now`` would be purged by the trailing pass
             # anyway, so it never enters the in-flight deque at all.
-            while idx < n:  # simlint: vector-safe
-                t = times[idx]
-                if t > t_now:
-                    break
-                size = sizes[idx]
-                start = free_at if free_at > t else t
-                free_at = start + size * 8.0 / cap
-                fwd_bytes += size
-                fwd_pkts += 1
-                if free_at > t_now:
-                    in_flight.append((free_at, size))
-                    backlog += size
-                idx += 1
+            folded = None
+            hi = bisect_right(times, t_now, idx, n)
+            if hi - idx >= kernels.MIN_BATCH and kernels.enabled():
+                folded = kernels.fold_slice(
+                    free_at, times, sizes, idx, hi, cap, t_now,
+                    agg.arrays(idx, hi),
+                )
+            if folded is not None:
+                free_at, kept, kept_bytes, kept_fold = folded
+                fwd_bytes += kept_fold
+                fwd_pkts += hi - idx
+                in_flight.extend(kept)
+                backlog += kept_bytes
+                idx = hi
+            else:
+                while idx < n:  # simlint: vector-safe
+                    t = times[idx]
+                    if t > t_now:
+                        break
+                    size = sizes[idx]
+                    start = free_at if free_at > t else t
+                    free_at = start + size * 8.0 / cap
+                    fwd_bytes += size
+                    fwd_pkts += 1
+                    if free_at > t_now:
+                        in_flight.append((free_at, size))
+                        backlog += size
+                    idx += 1
         else:
             # Drop-tail decisions replay deterministically in merge order:
             # the backlog each arrival tests is the one the per-packet path

@@ -50,6 +50,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Optional
 
 from ..core.probing import PacketRecord
+from . import kernels
 from .engine import SimulationError
 from .packet import Packet, PacketKind
 
@@ -82,10 +83,14 @@ class HopAgenda:
 
     __slots__ = (
         "link",
-        "pairs",
+        "_pairs",
+        "_pairs_t",
+        "_pairs_i",
         "accepts",
         "dones",
-        "exit_pairs",
+        "_exit_pairs",
+        "_exit_t",
+        "_exit_i",
         "size",
         "sizes",
         "persistent",
@@ -118,10 +123,16 @@ class HopAgenda:
         persistent=False,
     ):
         self.link = link
-        self.pairs = pairs
+        # ``pairs``/``exit_pairs`` may arrive pre-zipped (flow agendas,
+        # which mutate them in place) or as parallel time/index lists set
+        # by the stream planner after construction; the tupled views are
+        # then materialized only if a replay path actually reads them.
+        self._pairs = pairs
+        self._pairs_t = self._pairs_i = None
         self.accepts = accepts
         self.dones = dones
-        self.exit_pairs = exit_pairs
+        self._exit_pairs = exit_pairs
+        self._exit_t = self._exit_i = None
         self.size = size
         # Probe-stream agendas carry fixed-size packets (``sizes is None``);
         # flow-transit agendas mix segment and ack sizes per entry.
@@ -133,6 +144,25 @@ class HopAgenda:
         self.proto = proto  # template Packet for fold-time drop tracing
         self.plan = plan
         self.idx = 0
+
+    @property
+    def pairs(self):
+        p = self._pairs
+        if p is None:
+            p = self._pairs = list(zip(self._pairs_t, self._pairs_i))
+        return p
+
+    @property
+    def exit_pairs(self):
+        p = self._exit_pairs
+        if p is None:
+            p = self._exit_pairs = list(zip(self._exit_t, self._exit_i))
+        return p
+
+    def count(self) -> int:
+        """``len(self.pairs)`` without forcing materialization."""
+        p = self._pairs
+        return len(p) if p is not None else len(self._pairs_t)
 
 
 class StreamPlan:
@@ -357,15 +387,19 @@ def plan_stream(
     plan = StreamPlan(channel, run, done_event)
     drop_hop = plan.drop_hop
 
-    # (arrival_time, schedule_index) in admission order.  Positional
-    # indices, not seqs: jitter can reorder sends, and ``drop_hop``/
-    # ``sched``/record pairing are all indexed by schedule position.
-    cur = [(t, i) for i, (t, _seq) in enumerate(sched)]
+    # Arrival times and schedule indices in admission order, as parallel
+    # lists (the hop walks and the vector kernels consume bare times, and
+    # the index list passes through infinite-buffer hops untouched).
+    # Positional indices, not seqs: jitter can reorder sends, and
+    # ``drop_hop``/``sched``/record pairing are all indexed by schedule
+    # position.
+    cur_t = [t for t, _seq in sched]
+    cur_i = list(range(len(sched)))
     for h, link in enumerate(links):
-        if not cur:
+        if not cur_t:
             break
         agg = link._agg
-        t_end = cur[-1][0]
+        t_end = cur_t[-1]
         if agg is not None:
             agg.extend_until(t_end)
             c_times = agg.times
@@ -383,7 +417,8 @@ def plan_stream(
         free_at = link._free_at
         tx = size * 8.0 / cap
         a_dones: list[float] = []
-        nxt: list[tuple[float, int]] = []
+        nxt_t: list[float] = []
+        nxt_i: list[int] = []
         fwd_bytes = fwd_pkts = drop_bytes = drop_pkts = 0
         if buffer_bytes is None:
             # Infinite buffer: only the transmitter clock decides.  The
@@ -392,33 +427,77 @@ def plan_stream(
             # are monotone on a FIFO link, so admissions completing by
             # ``t_end`` never enter the end-state deque at all.
             a_accepts = None
-            end_in_flight = [e for e in link._in_flight if e[0] > t_end]
-            eif_append = end_in_flight.append
-            dones_append = a_dones.append
-            nxt_append = nxt.append
-            for t, i in cur:  # simlint: vector-safe
-                while ci < cn:
-                    tc = c_times[ci]
-                    if tc > t:
-                        break
-                    sz = c_sizes[ci]
-                    start = free_at if free_at > tc else tc
-                    free_at = start + sz * 8.0 / cap
-                    if free_at > t_end:
-                        eif_append((free_at, sz))
-                    fwd_bytes += sz
-                    fwd_pkts += 1
-                    ci += 1
-                start = free_at if free_at > t else t
-                done_t = start + tx
-                free_at = done_t
-                if done_t > t_end:
-                    eif_append((done_t, size))
-                dones_append(done_t)
-                nxt_append((done_t + prop, i))
-            k = len(a_dones)
-            fwd_bytes += size * k
-            fwd_pkts += k
+            planned = None
+            cut = bisect_right(c_times, t_end, ci, cn) if cn else ci
+            big_enough = (
+                (cut - ci) + len(cur_t) >= kernels.MIN_BATCH
+                if cut > ci
+                else len(cur_t) >= kernels.MIN_PROBES
+            )
+            if big_enough and kernels.enabled():
+                planned = kernels.plan_hop(
+                    free_at, c_times, c_sizes, ci, cut,
+                    cur_t, size, cap, t_end, prop,
+                    agg.arrays(ci, cut) if agg is not None else None,
+                )
+            if planned is not None:
+                a_dones, nxt_t, new_in_flight, free_at, merged_bytes = planned
+                end_in_flight = [e for e in link._in_flight if e[0] > t_end]
+                end_in_flight.extend(new_in_flight)
+                nxt_i = cur_i
+                fwd_bytes += merged_bytes
+                fwd_pkts += (cut - ci) + len(cur_t)
+                ci = cut
+            elif cut == ci:
+                # No cross arrivals due on this hop: only the probes'
+                # own back-to-back spacing matters, so the interleaved
+                # walk collapses to the bare Lindley chain and the index
+                # list passes through unchanged.
+                end_in_flight = [e for e in link._in_flight if e[0] > t_end]
+                eif_append = end_in_flight.append
+                dones_append = a_dones.append
+                nxt_append = nxt_t.append
+                for t in cur_t:  # simlint: vector-safe
+                    start = free_at if free_at > t else t
+                    done_t = start + tx
+                    free_at = done_t
+                    if done_t > t_end:
+                        eif_append((done_t, size))
+                    dones_append(done_t)
+                    nxt_append(done_t + prop)
+                nxt_i = cur_i
+                k = len(a_dones)
+                fwd_bytes += size * k
+                fwd_pkts += k
+            else:
+                end_in_flight = [e for e in link._in_flight if e[0] > t_end]
+                eif_append = end_in_flight.append
+                dones_append = a_dones.append
+                nxt_append = nxt_t.append
+                for t in cur_t:  # simlint: vector-safe
+                    while ci < cn:
+                        tc = c_times[ci]
+                        if tc > t:
+                            break
+                        sz = c_sizes[ci]
+                        start = free_at if free_at > tc else tc
+                        free_at = start + sz * 8.0 / cap
+                        if free_at > t_end:
+                            eif_append((free_at, sz))
+                        fwd_bytes += sz
+                        fwd_pkts += 1
+                        ci += 1
+                    start = free_at if free_at > t else t
+                    done_t = start + tx
+                    free_at = done_t
+                    if done_t > t_end:
+                        eif_append((done_t, size))
+                    dones_append(done_t)
+                    nxt_append(done_t + prop)
+                nxt_i = cur_i
+                k = len(a_dones)
+                fwd_bytes += size * k
+                fwd_pkts += k
             end_backlog = sum(e[1] for e in end_in_flight)
         else:
             # Exact drop-tail replay, mirroring Link.sync()/Link.send():
@@ -427,7 +506,7 @@ def plan_stream(
             a_accepts = []
             backlog = link._backlog_bytes
             in_flight = deque(link._in_flight)
-            for t, i in cur:
+            for t, i in zip(cur_t, cur_i):
                 while ci < cn:
                     tc = c_times[ci]
                     if tc > t:
@@ -464,13 +543,20 @@ def plan_stream(
                     fwd_pkts += 1
                     a_accepts.append(True)
                     a_dones.append(done_t)
-                    nxt.append((done_t + prop, i))
+                    nxt_t.append(done_t + prop)
+                    nxt_i.append(i)
             while in_flight and in_flight[0][0] <= t_end:
                 backlog -= in_flight.popleft()[1]
             end_in_flight = in_flight
             end_backlog = backlog
         proto = Packet(size, flow_id=run.flow_id, kind=PacketKind.PROBE)
-        agenda = HopAgenda(link, cur, a_accepts, a_dones, nxt, size, proto, plan)
+        agenda = HopAgenda(link, None, a_accepts, a_dones, None, size, proto, plan)
+        # Parallel-list views; the tupled ``pairs``/``exit_pairs`` are
+        # zipped lazily only if a replay path reads them.
+        agenda._pairs_t = cur_t
+        agenda._pairs_i = cur_i
+        agenda._exit_t = nxt_t
+        agenda._exit_i = nxt_i
         agenda.t_end = t_end
         agenda.ci_start = ci_start
         agenda.ci_end = ci
@@ -482,7 +568,8 @@ def plan_stream(
         agenda.d_drop_bytes = drop_bytes
         agenda.d_drop_pkts = drop_pkts
         plan.agendas.append(agenda)
-        cur = nxt
+        cur_t = nxt_t
+        cur_i = nxt_i
 
     # Receiver records, in arrival order (clocks are pure: read order is
     # observationally identical to the per-packet interleaving).
@@ -492,7 +579,7 @@ def plan_stream(
     rt_append = plan.rec_times.append
     last = len(sched) - 1
     complete_at = None
-    for x, i in cur:
+    for x, i in zip(cur_t, cur_i):
         s, seq = sched[i]
         rec_append(
             PacketRecord(

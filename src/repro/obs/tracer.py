@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from .metrics import MetricsRegistry
+from ..netsim import kernels as netsim_kernels
 
 __all__ = ["TraceEvent", "FleetDecision", "Tracer"]
 
@@ -281,6 +282,7 @@ class Tracer:
             "repro_engine_heap_high_water",
             help="largest event-heap size observed",
         ).high_water(self._heap_high_water)
+        netsim_kernels.publish(m)
         for link in self._links:
             stats = link.stats  # folds pending bulk arrivals first
             labels = {"link": link.name}

@@ -84,6 +84,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "bit-identical results, cache entries are shared either way)"
         ),
     )
+    parser.add_argument(
+        "--no-vector",
+        action="store_true",
+        help=(
+            "disable the NumPy planning kernels inside the fast path "
+            "(sets REPRO_NO_VECTOR for the workers; bit-identical "
+            "results, cache entries are shared either way)"
+        ),
+    )
     return parser
 
 
@@ -104,6 +113,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .netsim.fastpath import NO_FAST_ENV
 
         os.environ[NO_FAST_ENV] = "1"
+
+    if args.no_vector:
+        from .netsim.fastpath import NO_VECTOR_ENV
+
+        os.environ[NO_VECTOR_ENV] = "1"
 
     if args.clear_cache:
         from .parallel import clear_cache, default_cache_dir

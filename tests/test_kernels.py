@@ -1,0 +1,455 @@
+"""Bit-equality and degradation tests for the vectorized planning kernels.
+
+Every kernel in ``repro.netsim.kernels`` must either return a result that
+is ``==``-equal to the scalar loop it replaces, or decline (return None /
+degrade to the scalar path) — never approximate.  These tests drive the
+kernels directly across dtypes, shapes, and load regimes, and exercise
+the degradation machinery: REPRO_NO_VECTOR, self-check failure, and the
+fallback counters.
+"""
+
+import random
+
+import pytest
+
+from repro.netsim import kernels
+from repro.netsim.bulkarrivals import CrossAggregator
+from repro.netsim.fastpath import NO_VECTOR_ENV
+
+
+@pytest.fixture(autouse=True)
+def _fresh_kernels(monkeypatch):
+    monkeypatch.delenv(NO_VECTOR_ENV, raising=False)
+    kernels._reset_for_tests()
+    yield
+    kernels._reset_for_tests()
+
+
+def _random_lindley_case(rng, n, regime):
+    """(free_at, times, txs) in a given load regime."""
+    times = []
+    t = rng.random()
+    for _ in range(n):
+        t += rng.random() * (0.1 if regime == "busy" else 10.0)
+        times.append(t)
+    if regime == "idle":
+        txs = [rng.random() * 1e-3 for _ in range(n)]
+    elif regime == "busy":
+        txs = [1.0 + rng.random() for _ in range(n)]
+    else:  # mixed
+        txs = [rng.choice([1e-4, 0.05, 3.0]) * (1 + rng.random()) for _ in range(n)]
+    return rng.random() * 2.0, times, txs
+
+
+class TestLindley:
+    @pytest.mark.parametrize("regime", ["idle", "busy", "mixed"])
+    @pytest.mark.parametrize("n", [1, 2, 7, 64, 513])
+    def test_matches_scalar_exactly(self, regime, n):
+        rng = random.Random(hash((regime, n)) & 0xFFFF)
+        for trial in range(10):
+            free_at, times, txs = _random_lindley_case(rng, n, regime)
+            # min_mean_seg=0 forces the segment walk even where the
+            # regime heuristic would decline, so every shape is exercised.
+            got = kernels.lindley(free_at, times, txs, min_mean_seg=0.0)
+            want = kernels._lindley_scalar(free_at, times, txs)
+            if got is not None:
+                assert got == want, f"trial {trial}: kernel != scalar"
+
+    def test_empty(self):
+        assert kernels.lindley(0.0, [], [], min_mean_seg=0.0) in ([], None)
+
+    def test_exact_time_ties(self):
+        times = [1.0, 1.0, 1.0, 2.5, 2.5]
+        txs = [0.3, 0.2, 0.1, 0.4, 0.05]
+        got = kernels.lindley(0.9, times, txs, min_mean_seg=0.0)
+        assert got == kernels._lindley_scalar(0.9, times, txs)
+
+    def test_extreme_magnitudes(self):
+        tiny = 5e-324
+        times = [tiny, 2 * tiny, 1.0, 1e300]
+        txs = [tiny, 1e-17, 1e285, 1.0]
+        got = kernels.lindley(tiny, times, txs, min_mean_seg=0.0)
+        assert got == kernels._lindley_scalar(tiny, times, txs)
+
+    def test_declines_rather_than_approximates(self):
+        # Moderate load, short segments: the kernel may decline (None)
+        # but must never return a non-==-equal list.
+        rng = random.Random(99)
+        for _ in range(50):
+            free_at, times, txs = _random_lindley_case(rng, 40, "mixed")
+            got = kernels.lindley(free_at, times, txs)
+            if got is not None:
+                assert got == kernels._lindley_scalar(free_at, times, txs)
+
+
+class TestPrefixSums:
+    def test_prefix_sum_never_declines(self):
+        rng = random.Random(7)
+        for n in (0, 1, 5, 300):
+            deltas = [rng.random() * rng.choice([1e-9, 1.0, 1e9]) for _ in range(n)]
+            initial = rng.random()
+            assert kernels.prefix_sum(initial, deltas) == kernels._prefix_sum_scalar(
+                initial, deltas
+            )
+
+    def test_prefix_sum_degrades_when_disabled(self, monkeypatch):
+        monkeypatch.setenv(NO_VECTOR_ENV, "1")
+        kernels._reset_for_tests()
+        assert kernels.prefix_sum(1.0, [0.5, 0.25]) == [1.0, 1.5, 1.75]
+        assert kernels.kernel_fallbacks.get("disabled") == 1
+
+    def test_masked_prefix_sum_int_and_float(self):
+        rng = random.Random(3)
+        for values in (
+            [rng.randrange(1500) for _ in range(64)],
+            [rng.random() for _ in range(64)],
+        ):
+            mask = [rng.random() < 0.4 for _ in range(64)]
+            got = kernels.masked_prefix_sum(values, mask, 0)
+            want = kernels._masked_prefix_sum_scalar(values, mask, 0)
+            assert len(got) == len(want)
+            assert all(a == b for a, b in zip(got, want))
+
+
+class TestMergeParts:
+    def test_matches_heap_order_with_ties(self):
+        rng = random.Random(11)
+        parts_t, parts_s = [], []
+        for _ in range(3):
+            ts, acc = [], 0.0
+            for _ in range(50):
+                acc += rng.choice([0.0, 0.1, 0.1, 0.25])  # exact ties across parts
+                ts.append(acc)
+            parts_t.append(ts)
+            parts_s.append([rng.randrange(40, 1500) for _ in ts])
+        mt, ms, pidx, t_arr, s_arr = kernels.merge_parts(parts_t, parts_s)
+        # Reference: stable sort of (time, part, index) like a k-way heap.
+        entries = [
+            (parts_t[k][j], k, j)
+            for k in range(3)
+            for j in range(len(parts_t[k]))
+        ]
+        entries.sort(key=lambda e: e[0])
+        assert mt == [e[0] for e in entries]
+        assert ms == [parts_s[e[1]][e[2]] for e in entries]
+        assert pidx == [e[1] for e in entries]
+        if t_arr is not None:
+            assert list(t_arr) == mt and list(s_arr) == ms
+
+    def test_single_part_uncopied(self):
+        ts, ss = [1.0, 2.0], [100, 200]
+        mt, ms, pidx, _t, _s = kernels.merge_parts([ts], [ss])
+        assert mt is ts and ms is ss and pidx is None
+
+
+class TestFoldSlice:
+    def _case(self, n, cap, rho):
+        rng = random.Random(n)
+        size = 1000
+        gap = size * 8.0 / (rho * cap)
+        t, times, sizes = 0.0, [], []
+        for _ in range(n):
+            t += rng.random() * 2 * gap
+            times.append(t)
+            sizes.append(size)
+        return times, sizes, cap
+
+    def _scalar_fold(self, free_at, times, sizes, lo, hi, cap, keep_after):
+        kept, kept_bytes, fold_bytes = [], 0, 0
+        for i in range(lo, hi):
+            tc, sz = times[i], sizes[i]
+            start = free_at if free_at > tc else tc
+            free_at = start + sz * 8.0 / cap
+            fold_bytes += sz
+            if free_at > keep_after:
+                kept.append((free_at, sz))
+                kept_bytes += sz
+        return free_at, kept, kept_bytes, fold_bytes
+
+    def test_saturated_fold_bit_equal(self):
+        times, sizes, cap = self._case(512, 1e7, 1.2)
+        keep_after = times[-1]
+        got = kernels.fold_slice(0.0, times, sizes, 0, 512, cap, keep_after)
+        assert got is not None, "saturated fold must engage"
+        assert got == self._scalar_fold(0.0, times, sizes, 0, 512, cap, keep_after)
+
+    def test_low_load_declines(self):
+        times, sizes, cap = self._case(512, 1e7, 0.3)
+        got = kernels.fold_slice(0.0, times, sizes, 0, 512, cap, times[-1])
+        assert got is None
+        assert kernels.kernel_fallbacks.get("short-segments", 0) >= 1
+
+    def test_array_mirror_path_equal(self):
+        import numpy as np
+
+        times, sizes, cap = self._case(512, 1e7, 1.2)
+        arrays = (
+            np.asarray(times, dtype=np.float64),
+            np.asarray(sizes, dtype=np.int64),
+        )
+        keep_after = times[256]
+        a = kernels.fold_slice(0.0, times, sizes, 0, 512, cap, keep_after)
+        b = kernels.fold_slice(0.0, times, sizes, 0, 512, cap, keep_after, arrays)
+        assert a == b
+
+
+class TestPlanHop:
+    def _scalar_plan(self, free_at, c_times, c_sizes, ci, cut, p_times, p_size,
+                     cap, t_end, prop):
+        dones, exits, eif = [], [], []
+        fwd = 0
+        tx = p_size * 8.0 / cap
+        for t in p_times:
+            while ci < cut and c_times[ci] <= t:
+                sz = c_sizes[ci]
+                start = free_at if free_at > c_times[ci] else c_times[ci]
+                free_at = start + sz * 8.0 / cap
+                if free_at > t_end:
+                    eif.append((free_at, sz))
+                fwd += sz
+                ci += 1
+            start = free_at if free_at > t else t
+            free_at = start + tx
+            if free_at > t_end:
+                eif.append((free_at, p_size))
+            dones.append(free_at)
+            exits.append(free_at + prop)
+        while ci < cut:
+            sz = c_sizes[ci]
+            start = free_at if free_at > c_times[ci] else c_times[ci]
+            free_at = start + sz * 8.0 / cap
+            if free_at > t_end:
+                eif.append((free_at, sz))
+            fwd += sz
+            ci += 1
+        return dones, exits, eif, free_at, fwd + p_size * len(p_times)
+
+    def test_cross_free_closed_forms(self):
+        cap, size, prop = 1e7, 300, 1e-3
+        for rate in (0.5e7, 2e7):  # under and over capacity
+            gap = size * 8.0 / rate
+            p = [i * gap for i in range(kernels.MIN_PROBES)]
+            t_end = p[-1]
+            got = kernels.plan_hop(0.0, [], [], 0, 0, p, size, cap, t_end, prop)
+            assert got is not None
+            dones, exits, eif, free_at, fwd = self._scalar_plan(
+                0.0, [], [], 0, 0, p, size, cap, t_end, prop
+            )
+            g_dones, g_exits, g_eif, g_free, g_fwd = got
+            assert g_dones == dones and g_exits == exits
+            assert g_eif == eif and g_free == free_at and g_fwd == fwd  # simlint: disable=SIM003 -- bit-identity contract
+
+    def test_merged_cross_traffic_bit_equal(self):
+        rng = random.Random(21)
+        cap, size, prop = 1e7, 300, 1e-3
+        # Saturating cross traffic so the merged fold engages.
+        c_times, c_sizes, t = [], [], 0.0
+        for _ in range(400):
+            t += rng.random() * 2 * (1500 * 8.0 / (1.1 * cap))
+            c_times.append(t)
+            c_sizes.append(1500)
+        gap = size * 8.0 / 2e6
+        p = [i * gap for i in range(200)]
+        t_end = p[-1]
+        cut = sum(1 for tc in c_times if tc <= t_end)
+        got = kernels.plan_hop(
+            0.0, c_times, c_sizes, 0, cut, p, size, cap, t_end, prop
+        )
+        if got is None:
+            pytest.skip("kernel declined on this host's regime gates")
+        want = self._scalar_plan(
+            0.0, c_times, c_sizes, 0, cut, p, size, cap, t_end, prop
+        )
+        g_dones, g_exits, g_eif, g_free, g_fwd = got
+        assert g_dones == want[0] and g_exits == want[1]
+        assert g_free == want[3] and g_fwd == want[4]
+
+    def test_unsorted_probes_decline(self):
+        # Saturated enough to pass the rho gate, so the decline must come
+        # from the sortedness check itself.
+        p = [0.0, 2.0, 1.0] * 100
+        got = kernels.plan_hop(
+            0.0, [0.5], [1500], 0, 1, p, 1500, 1e6, 2.0, 1e-3
+        )
+        assert got is None
+        assert kernels.kernel_fallbacks.get("unsorted-probes", 0) >= 1
+
+
+class TestMaskedPending:
+    def test_identity_semantics(self):
+        class Src:  # no __eq__: identity comparison like real sources
+            pass
+
+        a, b = Src(), Src()
+        owners = [a, b, a, a, b, a]
+        sizes = [10, 20, 30, 40, 50, 60]
+        got = kernels.masked_pending(owners, sizes, 0, 6, a)
+        assert got == (4, 140)
+        got = kernels.masked_pending(owners, sizes, 2, 5, b)
+        assert got == (1, 50)
+
+
+class TestDegradation:
+    def test_no_vector_env_disables(self, monkeypatch):
+        monkeypatch.setenv(NO_VECTOR_ENV, "1")
+        kernels._reset_for_tests()
+        assert not kernels.enabled()
+        assert kernels.lindley(0.0, [1.0], [0.5]) is None
+        assert kernels.fold_slice(0.0, [1.0], [100], 0, 1, 1e7, 0.0) is None
+        assert kernels.kernel_fallbacks.get("disabled") == 1  # noted once
+
+    def test_self_check_failure_disables_permanently(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_self_check", lambda: False)
+        assert not kernels.enabled()
+        assert kernels.kernel_fallbacks.get("self-check") == 1
+        # Sticky: the check is not re-run per call.
+        assert not kernels.enabled()
+        assert kernels.kernel_fallbacks.get("self-check") == 1
+
+    def test_self_check_exception_never_raises(self, monkeypatch):
+        def boom():
+            raise RuntimeError("broken numpy")
+
+        monkeypatch.setattr(kernels, "_self_check", boom)
+        assert not kernels.enabled()
+        assert kernels.kernel_fallbacks.get("self-check") == 1
+
+    def test_numpy_missing_disables(self, monkeypatch):
+        monkeypatch.setattr(kernels, "np", None)
+        assert not kernels.enabled()
+        assert kernels.kernel_fallbacks.get("numpy-missing") == 1
+
+    def test_self_check_passes_for_real(self):
+        assert kernels._self_check()
+
+    def test_counters_and_publish(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        kernels.prefix_sum(0.0, [1.0, 2.0])
+        assert kernels.kernel_calls.get("prefix_sum") == 1
+        m = MetricsRegistry()
+        kernels.publish(m)
+        assert ("repro_kernel_calls_total", (("kernel", "prefix_sum"),)) in m._metrics
+
+    def test_tracer_publishes_kernel_counters(self):
+        from repro.netsim.engine import Simulator
+        from repro.obs import Tracer
+
+        kernels.prefix_sum(0.0, [1.0])
+        tracer = Tracer()
+        tracer.attach(Simulator())
+        m = tracer.collect_metrics()
+        assert any(k[0] == "repro_kernel_calls_total" for k in m._metrics)
+
+
+class _StubSource:
+    """Stands in for CrossTrafficSource in the owners list (identity only)."""
+
+
+def _make_agg(parts):
+    """Aggregator with finished feeds holding ``parts``; not yet merged."""
+    from repro.netsim.bulkarrivals import _Feed
+    from repro.netsim.engine import Simulator
+
+    link = type("_L", (), {"_agenda": None, "_agg": None})()
+    agg = CrossAggregator(Simulator(), link)
+    for k, (ts, ss) in enumerate(parts):
+        feed = _Feed(_StubSource(), order=k)
+        feed.times = list(ts)
+        feed.sizes = list(ss)
+        feed.done = True  # finished source: the whole buffer is merge-safe
+        feed.source._feed = feed
+        agg.feeds.append(feed)
+    return agg
+
+
+def _two_parts(n=300, seed=5, start=0.0):
+    rng = random.Random(seed)
+    parts = []
+    for _ in range(2):
+        ts, acc = [], start
+        for _ in range(n):
+            acc += rng.random()
+            ts.append(acc)
+        parts.append((ts, [1500] * n))
+    return parts
+
+
+class TestAggregatorMirror:
+    """The CrossAggregator's chunked array mirror must cover exactly the
+    merged tail, through compaction, unmerge, and kernel toggling."""
+
+    def test_arrays_cover_merged_tail(self):
+        agg = _make_agg(_two_parts())
+        agg._merge()
+        n = len(agg.times)
+        arrays = agg.arrays(0, n)
+        if arrays is None:
+            pytest.skip("mirror off (kernels disabled on this host)")
+        t_arr, s_arr = arrays
+        assert list(t_arr) == agg.times
+        assert list(s_arr) == agg.sizes
+
+    def test_arrays_none_when_vector_off(self, monkeypatch):
+        monkeypatch.setenv(NO_VECTOR_ENV, "1")
+        kernels._reset_for_tests()
+        agg = _make_agg(_two_parts())
+        agg._merge()
+        assert agg.times  # merged fine, just no mirror
+        assert agg.arrays(0, len(agg.times)) is None
+
+    def test_arrays_after_compact(self, monkeypatch):
+        import repro.netsim.bulkarrivals as ba
+
+        monkeypatch.setattr(ba, "_COMPACT_THRESHOLD", 100)
+        agg = _make_agg(_two_parts())
+        agg._merge()
+        n = len(agg.times)
+        agg.idx = n // 3
+        agg.compact()
+        assert agg.idx == 0  # trimmed
+        m = len(agg.times)
+        arrays = agg.arrays(0, m)
+        if arrays is None:
+            pytest.skip("mirror off (kernels disabled on this host)")
+        t_arr, s_arr = arrays
+        assert list(t_arr) == agg.times
+        assert list(s_arr) == agg.sizes
+
+    def test_mirror_restarts_after_vector_off_merge(self, monkeypatch):
+        from repro.netsim.bulkarrivals import _Feed
+
+        if not kernels.enabled():
+            pytest.skip("kernels disabled on this host")
+        first, second = _two_parts(n=100), _two_parts(n=100, start=1000.0)
+        # First merge with kernels off: list-only, mirror invalidated.
+        monkeypatch.setenv(NO_VECTOR_ENV, "1")
+        kernels._reset_for_tests()
+        agg = _make_agg(first)
+        agg._merge()
+        monkeypatch.delenv(NO_VECTOR_ENV)
+        kernels._reset_for_tests()
+        n0 = len(agg.times)
+        assert agg.arrays(0, n0) is None
+        # Second merge with kernels on: mirror restarts at the new tail.
+        for k, (ts, ss) in enumerate(second):
+            feed = _Feed(_StubSource(), order=len(agg.feeds))
+            feed.times = list(ts)
+            feed.sizes = list(ss)
+            feed.done = True
+            feed.source._feed = feed
+            agg.feeds.append(feed)
+        agg._merge()
+        n = len(agg.times)
+        assert agg.arrays(0, n) is None  # head predates the mirror
+        tail = agg.arrays(n0, n)
+        assert tail is not None
+        t_arr, s_arr = tail
+        assert list(t_arr) == agg.times[n0:]
+        assert list(s_arr) == agg.sizes[n0:]
+
+    def test_unmerge_resets_mirror(self):
+        agg = _make_agg(_two_parts())
+        agg._merge()
+        agg._unmerge()
+        assert agg.times == [] and agg._mirror_lo == 0 and not agg._mirror_t

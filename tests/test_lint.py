@@ -372,10 +372,13 @@ class TestVectorization:
             loops, "repro.netsim.streamtransit", "plan_stream", "VECTOR-SAFE"
         )
         annotated = [l for l in safe if l.annotated]
-        assert len(annotated) == 1
-        report = annotated[0]
-        assert "max+add (Lindley)" in report.accumulators.get("free_at", "")
-        assert report.reasons and "accumulate" in report.reasons[0]
+        # The general interleaved walk plus its specialized cross-free twin.
+        assert len(annotated) == 2
+        for report in annotated:
+            assert "max+add (Lindley)" in report.accumulators.get("free_at", "")
+            assert report.reasons and "accumulate" in report.reasons[0]
+            # Both sit next to the kernels.plan_hop dispatch: sanctioned.
+            assert report.kernelized
 
     def test_bulk_arrivals_fold_loop_is_vector_safe(self, loops):
         # The bulk-arrivals fold lives in Link.sync: it consumes the

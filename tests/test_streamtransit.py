@@ -363,14 +363,17 @@ class TestSanitize:
     def test_shadow_detects_planner_corruption(self, monkeypatch):
         import repro.netsim.streamtransit as st
 
-        orig_init = st.HopAgenda.__init__
+        # The planner feeds exit times through ``_exit_t``; nudging the
+        # first one must trip the shadow verifier.
+        orig_prop = st.HopAgenda.exit_pairs.fget
 
-        def bad_init(self, link, pairs, accepts, dones, exit_pairs, *rest):
-            if exit_pairs:
-                x, i = exit_pairs[0]
-                exit_pairs = [(x + 1e-9, i)] + list(exit_pairs[1:])
-            orig_init(self, link, pairs, accepts, dones, exit_pairs, *rest)
+        def bad_exit_pairs(self):
+            if self._exit_pairs is None and self._exit_t:
+                self._exit_t = [self._exit_t[0] + 1e-9] + self._exit_t[1:]
+            return orig_prop(self)
 
-        monkeypatch.setattr(st.HopAgenda, "__init__", bad_init)
+        monkeypatch.setattr(
+            st.HopAgenda, "exit_pairs", property(bad_exit_pairs)
+        )
         with pytest.raises(SimulationError, match="shadow"):
             run_streams(True, utilization=0.5, sanitize=True, n_streams=1)
