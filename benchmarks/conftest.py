@@ -6,6 +6,16 @@ Each benchmark regenerates one figure of the paper at a reduced scale
 for EXPERIMENTS.md.  ``benchmark.pedantic(..., rounds=1)`` is used
 throughout: an experiment *is* the measurement; repeating it for timing
 statistics would multiply hours of simulation for no extra fidelity.
+
+Under ``REPRO_PERF_GATE=1``, when a ``*_gate`` test *fails* its body is
+re-run once under a :class:`repro.obs.Profiler` and the wall-clock
+attribution profile is written to ``$REPRO_PROFILE_DIR`` (default
+``perf-profiles/``), so a CI regression report ships the "where did the
+time go" flamegraph alongside the failing numbers instead of a bare
+"1.07x > 1.02x" assertion message.  The timed run itself is never
+sampled: a concurrent sampler thread steals enough interpreter time from
+the short fast-path arm of a paired ratio to move it by ~10-20%, which
+would fail gates that pass unperturbed.
 """
 
 import os
@@ -13,6 +23,59 @@ import os
 import pytest
 
 from repro.experiments.base import Scale
+
+#: Directory for failed-gate attribution profiles.
+PROFILE_DIR_ENV = "REPRO_PROFILE_DIR"
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    # Stash the per-phase report on the item so the gate_profile fixture's
+    # teardown (which runs after the call phase) can see pass/fail.
+    outcome = yield
+    report = outcome.get_result()
+    setattr(item, "rep_" + report.when, report)
+
+
+@pytest.fixture(autouse=True)
+def gate_profile(request):
+    """When a ``*_gate`` test fails under REPRO_PERF_GATE=1, re-run its
+    body under the sampling profiler and write an attribution profile.
+
+    The gate functions are deliberately argument-free, so the re-run is a
+    plain second call of the same workload; its (expected) re-failure is
+    swallowed — pass/fail was already recorded by the unsampled run.
+    """
+    yield
+    item = request.node
+    if (
+        os.environ.get("REPRO_PERF_GATE") != "1"
+        or not item.name.endswith("_gate")
+    ):
+        return
+    report = getattr(item, "rep_call", None)
+    if report is None or not report.failed:
+        return
+    from repro.obs import Profiler
+
+    profiler = Profiler()
+    profiler.start()
+    try:
+        item.function()
+    except Exception:
+        pass
+    finally:
+        profiler.stop()
+    out_dir = os.environ.get(PROFILE_DIR_ENV) or "perf-profiles"
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"{item.name}.speedscope.json")
+    profiler.write(path)
+    collapsed = os.path.join(out_dir, f"{item.name}.collapsed.txt")
+    profiler.write(collapsed)
+    print(
+        f"\n[perf-gate] {item.name} failed; wall-clock attribution "
+        f"profile -> {path} ({len(profiler.samples)} samples)"
+    )
 
 
 @pytest.fixture

@@ -84,6 +84,34 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     measure.add_argument(
+        "--trace-light",
+        action="store_true",
+        help=(
+            "with --trace/--health: use a light tracer that records only "
+            "aggregate counters, fleet decisions, and flow/fleet spans — "
+            "keeps every event-elision fast path alive (full tracers "
+            "dissolve TCP flow transit onto the per-packet path)"
+        ),
+    )
+    measure.add_argument(
+        "--health",
+        action="store_true",
+        help=(
+            "print a run-health audit (packet-path fractions, fast-path "
+            "fallback reasons, per-link drops) after the measurement; "
+            "implies a light tracer when --trace is not given"
+        ),
+    )
+    measure.add_argument(
+        "--profile",
+        metavar="PATH",
+        help=(
+            "sample the host-side call stack during the run and write a "
+            "profile (.json for speedscope, anything else for collapsed "
+            "flamegraph stacks); REPRO_PROFILE=PATH does the same"
+        ),
+    )
+    measure.add_argument(
         "--no-fast",
         action="store_true",
         help=(
@@ -123,7 +151,36 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument(
         "--trace",
         metavar="PATH",
-        help="write sweep telemetry (task lifecycle, cache hits) as a trace",
+        help=(
+            "write merged sweep telemetry (task lifecycle, cache hits, and "
+            "every task's own trace under a task<i>/ track prefix) as a "
+            "trace"
+        ),
+    )
+    figure.add_argument(
+        "--trace-light",
+        action="store_true",
+        help=(
+            "with --trace/--health: capture each task under a light tracer "
+            "(aggregate counters only; keeps all fast paths alive)"
+        ),
+    )
+    figure.add_argument(
+        "--health",
+        action="store_true",
+        help=(
+            "print a run-health audit from the merged sweep metrics; "
+            "implies a light tracer when --trace is not given"
+        ),
+    )
+    figure.add_argument(
+        "--profile",
+        metavar="PATH",
+        help=(
+            "sample the host-side call stack and write a profile (.json "
+            "for speedscope, else collapsed stacks); REPRO_PROFILE=PATH "
+            "does the same"
+        ),
     )
     figure.add_argument(
         "--no-fast",
@@ -155,38 +212,45 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     truth = capacity * (1 - args.utilization)
     config = PathloadConfig(idle_factor=9.0 if args.paper_idle else 1.0)
     tracer = None
-    if args.trace:
+    if args.trace or args.health:
         from .obs import Tracer
 
-        tracer = Tracer()
+        # --health alone audits without perturbing the run: light capture
+        # keeps every event-elision fast path eligible.
+        light = args.trace_light or (args.health and not args.trace)
+        tracer = Tracer(light=light)
+    profiler, profile_path = _make_profiler(args)
     buffer_bytes = int(args.buffer_kb * 1000) if args.buffer_kb else None
     fast = False if args.no_fast else None
     if args.no_vector:
         from .netsim.fastpath import NO_VECTOR_ENV
 
         os.environ[NO_VECTOR_ENV] = "1"
-    if args.hops <= 1:
-        report = measure_avail_bw_sim(
-            capacity_bps=capacity,
-            utilization=args.utilization,
-            seed=args.seed,
-            traffic_model=args.traffic,
-            config=config,
-            buffer_bytes=buffer_bytes,
-            tracer=tracer,
-            fast=fast,
-        )
-    else:
-        cfg = Fig4Config(
-            hops=args.hops,
-            tight_capacity_bps=capacity,
-            tight_utilization=args.utilization,
-            traffic_model=args.traffic,
-            buffer_bytes=buffer_bytes,
-        )
-        report, _setup = measure_fig4_path(
-            cfg, seed=args.seed, config=config, tracer=tracer, fast=fast
-        )
+    try:
+        if args.hops <= 1:
+            report = measure_avail_bw_sim(
+                capacity_bps=capacity,
+                utilization=args.utilization,
+                seed=args.seed,
+                traffic_model=args.traffic,
+                config=config,
+                buffer_bytes=buffer_bytes,
+                tracer=tracer,
+                fast=fast,
+            )
+        else:
+            cfg = Fig4Config(
+                hops=args.hops,
+                tight_capacity_bps=capacity,
+                tight_utilization=args.utilization,
+                traffic_model=args.traffic,
+                buffer_bytes=buffer_bytes,
+            )
+            report, _setup = measure_fig4_path(
+                cfg, seed=args.seed, config=config, tracer=tracer, fast=fast
+            )
+    finally:
+        _finish_profiler(profiler, profile_path)
     print(
         f"avail-bw range: [{report.low_bps / 1e6:.2f}, "
         f"{report.high_bps / 1e6:.2f}] Mb/s (true average {truth / 1e6:.2f})"
@@ -200,13 +264,39 @@ def _cmd_measure(args: argparse.Namespace) -> int:
 
         dump_report(report, args.output)
         print(f"report written to {args.output}")
-    if tracer is not None:
+    if tracer is not None and args.trace:
         tracer.write(args.trace)
         print(
             f"trace written to {args.trace} "
             f"({len(tracer.events)} events, {len(tracer.decisions)} fleet decisions)"
         )
+    if args.health:
+        from .obs import health_from_tracer
+
+        print(health_from_tracer(tracer).render_text())
     return 0
+
+
+def _make_profiler(args: argparse.Namespace):
+    """(started Profiler or None, output path) from --profile/REPRO_PROFILE."""
+    from .obs.profiler import env_profile_path
+
+    profile_path = args.profile or env_profile_path()
+    if not profile_path:
+        return None, None
+    from .obs import Profiler
+
+    return Profiler().start(), profile_path
+
+
+def _finish_profiler(profiler, profile_path: Optional[str]) -> None:
+    if profiler is None:
+        return
+    profiler.stop()
+    profiler.write(profile_path)
+    print(
+        f"profile written to {profile_path} ({len(profiler.samples)} samples)"
+    )
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -229,14 +319,16 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         os.environ[NO_VECTOR_ENV] = "1"
     tracer = None
     previous = None
-    if args.trace:
+    if args.trace or args.health:
         from .obs import Tracer
         from .parallel import set_default_tracer
 
         # The figure modules call run_sweep internally; the process-wide
         # default tracer collects their telemetry without signature churn.
-        tracer = Tracer()
+        light = args.trace_light or (args.health and not args.trace)
+        tracer = Tracer(light=light)
         previous = set_default_tracer(tracer)
+    profiler, profile_path = _make_profiler(args)
     try:
         if args.id == "all":
             for key, run_fn in REGISTRY.items():
@@ -250,13 +342,18 @@ def _cmd_figure(args: argparse.Namespace) -> int:
                 return 2
             run_fn(jobs=args.jobs, cache=not args.no_cache).print_table()
     finally:
+        _finish_profiler(profiler, profile_path)
         if tracer is not None:
             from .parallel import set_default_tracer
 
             set_default_tracer(previous)
-    if tracer is not None:
+    if tracer is not None and args.trace:
         tracer.write(args.trace)
         print(f"trace written to {args.trace} ({len(tracer.events)} events)")
+    if args.health and tracer is not None:
+        from .obs import health_from_tracer
+
+        print(health_from_tracer(tracer).render_text())
     return 0
 
 

@@ -49,7 +49,45 @@ __all__ = [
     "Process",
     "ScheduledCall",
     "SimulationError",
+    "set_ambient_tracer",
 ]
+
+#: Process-global tracer adopted by every Simulator built while it is set.
+#: This is how sweep workers capture telemetry from task functions that
+#: construct their own simulators internally (repro.parallel sets it around
+#: each task invocation).  ``None`` in the common case, so the only cost on
+#: untraced construction is one module-global read.
+_ambient_tracer = None
+
+
+def set_ambient_tracer(tracer):
+    """Install ``tracer`` as the ambient tracer for new simulators.
+
+    Returns the previously installed tracer (or ``None``) so callers can
+    restore it in a ``finally`` block.  Simulators created while an ambient
+    tracer is set behave exactly as if ``tracer.attach(sim)`` had been
+    called immediately after construction.
+    """
+    global _ambient_tracer
+    previous = _ambient_tracer
+    _ambient_tracer = tracer
+    return previous
+
+
+#: Like the ambient tracer: the sampling profiler (repro.obs.profiler)
+#: registers here so its sampler thread can correlate wall-clock samples
+#: with the *simulated* clock of whichever simulator was built last.
+_ambient_profiler = None
+
+
+def set_ambient_profiler(profiler):
+    """Install ``profiler`` to be notified of new simulators; returns the
+    previous one.  Construction-time only — nothing on the event hot path
+    ever consults it."""
+    global _ambient_profiler
+    previous = _ambient_profiler
+    _ambient_profiler = profiler
+    return previous
 
 
 class SimulationError(RuntimeError):
@@ -438,11 +476,16 @@ class Simulator:
         #: only heap-order violations).  Always an empty list when
         #: ``sanitize=False``.
         self.diagnostics: list[str] = []
-        #: Optional :class:`repro.obs.Tracer`, installed by ``Tracer.attach``.
-        #: Read-only observer: it folds per-event engine metrics but never
-        #: schedules events, so the event order (and :meth:`digest`) is
-        #: identical with or without it.
-        self.tracer = None
+        #: Optional :class:`repro.obs.Tracer`, installed by ``Tracer.attach``
+        #: or adopted from the process-global ambient tracer (see
+        #: :func:`set_ambient_tracer`).  Read-only observer: it folds
+        #: per-event engine metrics but never schedules events, so the event
+        #: order (and :meth:`digest`) is identical with or without it.
+        self.tracer = _ambient_tracer
+        if _ambient_tracer is not None:
+            _ambient_tracer._sims.append(self)
+        if _ambient_profiler is not None:
+            _ambient_profiler._watch(self)
 
     # ------------------------------------------------------------------
     # Clock

@@ -60,6 +60,7 @@ divergence.
 from __future__ import annotations
 
 import heapq
+import warnings
 from bisect import bisect_right
 from collections import deque
 from typing import TYPE_CHECKING, Optional
@@ -75,9 +76,36 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..transport.probe import ProbeChannel, _StreamRun
     from ..transport.tcp import TCPSender
 
-__all__ = ["FlowTransitDomain", "try_attach_flow"]
+__all__ = ["FlowTransitDomain", "FLOW_FALLBACK_REASONS", "try_attach_flow"]
+
+#: Every reason ``repro_fastpath_flow_fallback_total`` may carry, for
+#: declared-but-zero metric export (docs/observability.md).
+FLOW_FALLBACK_REASONS: tuple[str, ...] = (
+    "disabled",
+    "tracer",
+    "link-config",
+    "link-decommission",
+)
 
 _INF = float("inf")
+
+# One warning per process: a full tracer silently costing the flow-transit
+# fast path is the single most surprising perf cliff in a traced run.
+_warned_tracer = False
+
+
+def _warn_tracer_fallback() -> None:
+    global _warned_tracer
+    if not _warned_tracer:
+        _warned_tracer = True
+        warnings.warn(
+            "a full tracer forces TCP flows onto the per-packet path "
+            "(reason 'tracer' in repro_fastpath_flow_fallback_total); use a "
+            "light tracer (--trace-light / Tracer(light=True)) to keep the "
+            "flow-transit fast path while collecting aggregate telemetry",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 #: Maximum virtual lookahead per round when no real event bounds the walk.
 #: A persistent (BTC) flow is self-sustaining — data begets acks begets
@@ -512,9 +540,13 @@ class FlowTransitDomain:
         if not self.alive:
             return
         sim = self.sim
-        if sim.tracer is not None:
-            # A tracer wants per-event visibility; hand everything back.
-            self.dissolve("tracer-attached")
+        tracer = sim.tracer
+        if tracer is not None and not tracer.light:
+            # A full tracer wants per-event visibility; hand everything
+            # back.  Light tracers only buffer aggregate counters, so the
+            # domain keeps walking (docs/observability.md).
+            _warn_tracer_fallback()
+            self.dissolve("tracer")
             return
         vheap = self._vheap
         heappop = heapq.heappop
@@ -903,8 +935,10 @@ class FlowTransitDomain:
         ``(plan, reason)`` pair.
         """
         sim = self.sim
-        if sim.tracer is not None:
-            self.dissolve("tracer-attached")
+        tracer = sim.tracer
+        if tracer is not None and not tracer.light:
+            _warn_tracer_fallback()
+            self.dissolve("tracer")
             return plan_stream(channel, run, done_event)
         if _impure(channel.sender_clock) or _impure(channel.receiver_clock):
             return None, "impure-clock"
@@ -1305,8 +1339,10 @@ def try_attach_flow(sender: "TCPSender") -> bool:
     if not resolve_fast(sender._fast):
         _note_flow_fallback(network, sim, "disabled")
         return False
-    if sim.tracer is not None:
-        _note_flow_fallback(network, sim, "tracer-attached")
+    tracer = sim.tracer
+    if tracer is not None and not tracer.light:
+        _warn_tracer_fallback()
+        _note_flow_fallback(network, sim, "tracer")
         return False
     advance = network._advance
     for link in (*network.forward_links, *network.reverse_links):
@@ -1337,7 +1373,7 @@ def try_attach_flow(sender: "TCPSender") -> bool:
 def _note_flow_planned(network, sim) -> None:
     network._ft_flows += 1
     tracer = sim.tracer
-    if tracer is not None:  # pragma: no cover - tracers force per-packet
+    if tracer is not None:  # light tracers keep flows planned
         tracer.metrics.counter(
             "repro_fastpath_flows_total",
             help="TCP flows carried by the flow-transit fast path",

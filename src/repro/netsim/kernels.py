@@ -64,6 +64,9 @@ from .fastpath import resolve_vector
 __all__ = [
     "MIN_BATCH",
     "MIN_MEAN_SEGMENT",
+    "KERNELS",
+    "KERNEL_FALLBACK_REASONS",
+    "ONE_SHOT_REASONS",
     "enabled",
     "lindley",
     "prefix_sum",
@@ -74,6 +77,7 @@ __all__ = [
     "masked_pending",
     "kernel_calls",
     "kernel_fallbacks",
+    "counts",
     "publish",
 ]
 
@@ -115,6 +119,28 @@ MIN_RHO = 0.97
 #: ≈220 probes on the reference host.
 MIN_PROBES = 256
 
+#: Every kernel name the selection counter may carry, for declared-but-
+#: zero metric export (dashboards see stable series before the first
+#: increment; see docs/observability.md).
+KERNELS: tuple[str, ...] = ("lindley", "prefix_sum", "masked_prefix_sum", "merge")
+
+#: Every decline reason the fallback counter may carry, same purpose.
+KERNEL_FALLBACK_REASONS: tuple[str, ...] = (
+    "disabled",
+    "numpy-missing",
+    "self-check",
+    "short-segments",
+    "verify-failed",
+    "unsorted-probes",
+)
+
+#: Reasons noted at most once per process (availability facts, not
+#: per-call declines).  Cross-process merges fold these by max — summing
+#: would make the total depend on how tasks were packed onto workers.
+ONE_SHOT_REASONS: frozenset = frozenset(
+    {"disabled", "numpy-missing", "self-check"}
+)
+
 #: Successful kernel selections, by kernel name.
 kernel_calls: dict[str, int] = {}
 
@@ -143,20 +169,51 @@ def _note_fallback(reason: str) -> None:
     kernel_fallbacks[reason] = kernel_fallbacks.get(reason, 0) + 1
 
 
-def publish(registry) -> None:
+def counts() -> tuple[dict[str, int], dict[str, int]]:
+    """Snapshot of ``(kernel_calls, kernel_fallbacks)`` as plain dicts.
+
+    Used by sweep workers to take a *baseline* before running a task, so
+    the task's published counts are deltas rather than whatever the
+    (possibly reused, possibly forked) worker process accumulated before.
+    """
+    return dict(kernel_calls), dict(kernel_fallbacks)
+
+
+def publish(registry, base=None, merged=None) -> None:
     """Fold the process-wide selection counters into a metrics registry.
 
     Values are *set*, not accumulated, so repeated collection is
     idempotent (the same convention ``Tracer.collect_metrics`` uses for
-    the cumulative link counters).
+    the cumulative link counters).  With ``base`` (a :func:`counts`
+    snapshot) the published values are deltas since that snapshot —
+    pool workers publish per-task deltas so merged sweep telemetry is
+    independent of how tasks were packed onto processes.  ``merged`` (a
+    second dict pair) adds counts folded in from child tracers (one-shot
+    reasons fold by max, see :data:`ONE_SHOT_REASONS`).  Every known
+    kernel name and decline reason is declared even at zero so the
+    exposition carries stable series.
     """
-    for kernel, n in sorted(kernel_calls.items()):
+    base_calls, base_fallbacks = base if base is not None else ({}, {})
+    extra_calls, extra_fallbacks = merged if merged is not None else ({}, {})
+    names = set(kernel_calls) | set(extra_calls) | set(KERNELS)
+    for kernel in sorted(names):
+        n = max(0, kernel_calls.get(kernel, 0) - base_calls.get(kernel, 0))
+        n += extra_calls.get(kernel, 0)
         registry.gauge(
             "repro_kernel_calls_total",
             labels={"kernel": kernel},
             help="vectorized kernel selections, by kernel",
         ).set(n)
-    for reason, n in sorted(kernel_fallbacks.items()):
+    reasons = set(kernel_fallbacks) | set(extra_fallbacks) | set(
+        KERNEL_FALLBACK_REASONS
+    )
+    for reason in sorted(reasons):
+        n = max(0, kernel_fallbacks.get(reason, 0) - base_fallbacks.get(reason, 0))
+        extra = extra_fallbacks.get(reason, 0)
+        if reason in ONE_SHOT_REASONS:
+            n = max(n, extra)
+        else:
+            n += extra
         registry.gauge(
             "repro_kernel_fallback_total",
             labels={"reason": reason},

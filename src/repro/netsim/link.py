@@ -148,8 +148,13 @@ class Link:
         self._in_flight: deque = deque()  # (tx_done_time, size_bytes)
         self._backlog_bytes = 0
         # Cached so the nil-tracer cost in send() is one slot None-check;
-        # Tracer.register_link retrofits links built before attach.
-        self._tracer = sim.tracer
+        # Tracer.register_link retrofits links built before attach and
+        # leaves the slot None for light tracers (per-packet callbacks off,
+        # elision stays eligible — see docs/observability.md).
+        self._tracer = None
+        tracer = sim.tracer
+        if tracer is not None:
+            tracer.register_link(self)
 
     # ------------------------------------------------------------------
     # Wired callbacks and policies (rebinding reverts bulk traffic)

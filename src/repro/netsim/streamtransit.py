@@ -57,7 +57,27 @@ from .packet import Packet, PacketKind
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..transport.probe import ProbeChannel, _StreamRun
 
-__all__ = ["HopAgenda", "StreamPlan", "plan_stream"]
+__all__ = [
+    "HopAgenda",
+    "StreamPlan",
+    "STREAM_FALLBACK_REASONS",
+    "plan_stream",
+]
+
+#: Every reason ``repro_fastpath_fallback_total`` may carry — plan-time
+#: refusals plus mid-flight revocations — for declared-but-zero metric
+#: export (docs/observability.md).  "tracer" is inherited from a
+#: flow-transit dissolve that rewinds adopted streams.
+STREAM_FALLBACK_REASONS: tuple[str, ...] = (
+    "disabled",
+    "foreground-active",
+    "impure-clock",
+    "link-config",
+    "foreign-send",
+    "link-decommission",
+    "stream-overlap",
+    "tracer",
+)
 
 _INF = float("inf")
 

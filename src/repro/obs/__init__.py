@@ -8,14 +8,23 @@ trace-event JSON), and Prometheus text.  With no tracer attached every
 instrumentation point costs one attribute None-check; with one attached,
 ``Simulator.digest()`` and all experiment reports remain bit-identical.
 
+v2 adds the cross-process pipeline (child-tracer envelopes merged with
+per-task track namespacing, so sweep digests are identical across
+``--jobs`` counts and cache states), :class:`RunHealth` audits built from
+merged metrics, and an opt-in sampling :class:`Profiler` with sim-time
+correlation.
+
 See docs/observability.md for the event taxonomy and determinism contract.
 """
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .tracer import FleetDecision, TraceEvent, Tracer
+from .health import RunHealth, health_from_snapshot, health_from_tracer
+from .profiler import Profiler
 from .exporters import (
     events_digest,
     read_jsonl,
+    read_jsonl_full,
     summarize,
     to_perfetto,
     write_jsonl,
@@ -30,8 +39,13 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "RunHealth",
+    "health_from_snapshot",
+    "health_from_tracer",
+    "Profiler",
     "write_jsonl",
     "read_jsonl",
+    "read_jsonl_full",
     "to_perfetto",
     "write_perfetto",
     "events_digest",

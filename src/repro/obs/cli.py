@@ -1,23 +1,36 @@
 """``repro-trace``: inspect and convert trace files.
 
-Three subcommands over the JSONL traces written by ``--trace PATH``::
+Four subcommands over the JSONL traces written by ``--trace PATH``::
 
     repro-trace summarize run.jsonl            # counts, tracks, digest
+    repro-trace summarize run.jsonl --json     # machine-readable + health
+    repro-trace health run.jsonl               # run-health audit report
     repro-trace perfetto run.jsonl -o run.json # convert for ui.perfetto.dev
     repro-trace diff a.jsonl b.jsonl           # compare by event digest
 
 ``diff`` exits 0 when the two traces have identical event digests
-(wall-clock args excluded — see docs/observability.md), 1 when they
-diverge (printing the first differing event), 2 on usage errors.
+(wall-clock and host-executor args excluded — see docs/observability.md),
+1 when they diverge (printing the first differing event), 2 on usage
+errors.  ``health`` needs the trace's trailing metrics line (written by
+default from both CLIs) and renders the same audit as ``--health``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
-from .exporters import _canonical, events_digest, read_jsonl, summarize, write_perfetto
+from .exporters import (
+    _canonical,
+    events_digest,
+    read_jsonl,
+    read_jsonl_full,
+    summarize,
+    write_perfetto,
+)
+from .health import health_from_snapshot
 
 __all__ = ["main"]
 
@@ -34,6 +47,17 @@ def _build_parser() -> argparse.ArgumentParser:
 
     s = sub.add_parser("summarize", help="event counts, tracks, and digest")
     s.add_argument("trace", help="JSONL trace file")
+    s.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON document (includes the health block)",
+    )
+
+    h = sub.add_parser("health", help="run-health audit from the metrics line")
+    h.add_argument("trace", help="JSONL trace file")
+    h.add_argument(
+        "--json", action="store_true", help="emit the health block as JSON"
+    )
 
     p = sub.add_parser("perfetto", help="convert a JSONL trace for Perfetto")
     p.add_argument("trace", help="JSONL trace file")
@@ -48,8 +72,15 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_summarize(args: argparse.Namespace) -> int:
-    events, snapshot = read_jsonl(args.trace)
+    events, decisions, snapshot = read_jsonl_full(args.trace)
     info = summarize(events)
+    if args.json:
+        doc = dict(info)
+        doc["trace"] = args.trace
+        doc["n_decisions"] = len(decisions)
+        doc["health"] = health_from_snapshot(snapshot).to_dict()
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
     print(f"{args.trace}: {info['n_events']} events", end="")
     if info["t_start"] is not None:
         print(f" over sim [{info['t_start']:.6f}, {info['t_end']:.6f}]s", end="")
@@ -61,9 +92,21 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
         print(f"  track {track:12s} {count}")
     if len(tracks) > 20:
         print(f"  ... and {len(tracks) - 20} more tracks")
+    if decisions:
+        print(f"  decisions: {len(decisions)} fleet records")
     if snapshot:
         print(f"  metrics: {len(snapshot)} families")
     print(f"  digest {info['digest']}")
+    return 0
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    _events, _decisions, snapshot = read_jsonl_full(args.trace)
+    health = health_from_snapshot(snapshot)
+    if args.json:
+        print(json.dumps(health.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(health.render_text())
     return 0
 
 
@@ -106,6 +149,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "summarize":
             return _cmd_summarize(args)
+        if args.command == "health":
+            return _cmd_health(args)
         if args.command == "perfetto":
             return _cmd_perfetto(args)
         if args.command == "diff":

@@ -21,9 +21,10 @@ Prometheus text
     Produced by :meth:`~repro.obs.metrics.MetricsRegistry.to_prometheus`
     (not here); a point-in-time snapshot, not a scrape endpoint.
 
-The event digest canonicalizes events (sorted args, ``wall``-prefixed keys
-dropped) so identical seeded runs hash identically across machines and
-Python versions — the basis of ``repro-trace diff``.
+The event digest canonicalizes events (sorted args, ``wall``- and
+``host``-prefixed keys dropped) so identical seeded runs hash identically
+across machines, Python versions, and sweep executor layouts — the basis
+of ``repro-trace diff`` and the merged-sweep determinism contract.
 """
 
 from __future__ import annotations
@@ -39,6 +40,7 @@ from .tracer import TraceEvent
 __all__ = [
     "write_jsonl",
     "read_jsonl",
+    "read_jsonl_full",
     "to_perfetto",
     "write_perfetto",
     "events_digest",
@@ -71,8 +73,10 @@ def write_jsonl(
     events: Sequence[TraceEvent],
     path: str,
     metrics: Optional[MetricsRegistry] = None,
+    decisions: Optional[Sequence] = None,
 ) -> None:
-    """Write ``events`` (and optionally a metrics snapshot) as JSONL."""
+    """Write ``events`` (and optionally fleet decision records and a
+    metrics snapshot) as JSONL."""
     with open(path, "w") as fh:
         header = {
             "type": "header",
@@ -85,6 +89,11 @@ def write_jsonl(
             record = {"type": "event"}
             record.update(_json_safe(event.to_dict()))
             fh.write(json.dumps(record) + "\n")
+        if decisions:
+            for decision in decisions:
+                record = {"type": "decision"}
+                record.update(_json_safe(decision.to_dict()))
+                fh.write(json.dumps(record) + "\n")
         if metrics is not None:
             fh.write(
                 json.dumps({"type": "metrics", "snapshot": metrics.snapshot()})
@@ -94,7 +103,19 @@ def write_jsonl(
 
 def read_jsonl(path: str) -> tuple[list[TraceEvent], Optional[dict]]:
     """Load a JSONL trace: ``(events, metrics snapshot or None)``."""
+    events, _decisions, snapshot = read_jsonl_full(path)
+    return events, snapshot
+
+
+def read_jsonl_full(
+    path: str,
+) -> tuple[list[TraceEvent], list, Optional[dict]]:
+    """Load a JSONL trace completely:
+    ``(events, fleet decisions, metrics snapshot or None)``."""
+    from .tracer import FleetDecision
+
     events: list[TraceEvent] = []
+    decisions: list[FleetDecision] = []
     snapshot: Optional[dict] = None
     with open(path) as fh:
         first = fh.readline()
@@ -113,9 +134,11 @@ def read_jsonl(path: str) -> tuple[list[TraceEvent], Optional[dict]]:
             kind = record.get("type")
             if kind == "event":
                 events.append(TraceEvent.from_dict(record))
+            elif kind == "decision":
+                decisions.append(FleetDecision.from_dict(record))
             elif kind == "metrics":
                 snapshot = record.get("snapshot")
-    return events, snapshot
+    return events, decisions, snapshot
 
 
 # ----------------------------------------------------------------------
@@ -186,11 +209,12 @@ def write_perfetto(
 # Digest + summary
 # ----------------------------------------------------------------------
 def _canonical(event: TraceEvent) -> str:
-    """Canonical line for digesting: sorted args, wall-clock keys dropped."""
+    """Canonical line for digesting: sorted args, host-dependent keys
+    (``wall*`` timings, ``host*`` executor facts) dropped."""
     args = {
         k: _json_safe(v)
         for k, v in event.args.items()
-        if not k.startswith("wall")
+        if not k.startswith(("wall", "host"))
     }
     return json.dumps(
         {
@@ -208,9 +232,11 @@ def _canonical(event: TraceEvent) -> str:
 def events_digest(events: Iterable[TraceEvent]) -> str:
     """Hex digest of the canonicalized event stream.
 
-    Two traces of the same seeded run digest identically on any machine:
-    ``wall``-prefixed args (host-side sweep timings) are excluded, and
-    everything else in a trace is simulated-time-deterministic.
+    Two traces of the same seeded run digest identically on any machine
+    and under any executor layout: ``wall``-prefixed args (host-side
+    sweep timings) and ``host``-prefixed args (cache-hit/worker-count
+    facts) are excluded, and everything else in a trace is
+    simulated-time-deterministic.
     """
     hasher = hashlib.blake2b(digest_size=16)
     for event in events:

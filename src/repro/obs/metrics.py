@@ -212,6 +212,71 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
+    def dump(self) -> list[dict]:
+        """Lossless plain-data form of every metric, for cross-process merge.
+
+        Unlike :meth:`snapshot` (which expands histograms into cumulative
+        exposition samples), this preserves raw per-bound counts so a
+        parent process can :meth:`merge` worker registries exactly.
+        Deterministic order: sorted by ``(name, labels)``.
+        """
+        out: list[dict] = []
+        for metric in self:
+            entry: dict = {
+                "kind": metric.kind,
+                "name": metric.name,
+                "labels": [list(pair) for pair in metric.labels],
+                "help": self._help.get(metric.name, ""),
+            }
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.buckets)
+                entry["counts"] = list(metric.counts)
+                entry["total"] = metric.total
+                entry["count"] = metric.count
+            else:
+                entry["value"] = metric.value
+            out.append(entry)
+        return out
+
+    def merge(self, dumped: Iterable[dict]) -> None:
+        """Fold a :meth:`dump` from another registry into this one.
+
+        Counters and histograms **add** (their values are per-process
+        totals); gauges fold by **max** — every gauge here is either a
+        high-water mark or an idempotent published snapshot, and max is
+        the only fold of those that stays associative and order-free, which
+        keeps merged sweeps deterministic across worker layouts.
+        """
+        for entry in dumped:
+            labels = {k: v for k, v in entry.get("labels", ())}
+            help_text = entry.get("help", "")
+            kind = entry["kind"]
+            if kind == "counter":
+                self.counter(entry["name"], labels=labels, help=help_text).inc(
+                    entry["value"]
+                )
+            elif kind == "gauge":
+                self.gauge(entry["name"], labels=labels, help=help_text).high_water(
+                    entry["value"]
+                )
+            elif kind == "histogram":
+                hist = self.histogram(
+                    entry["name"],
+                    labels=labels,
+                    help=help_text,
+                    buckets=entry["buckets"],
+                )
+                if hist.buckets != tuple(entry["buckets"]):
+                    raise ValueError(
+                        f"histogram {entry['name']!r} bucket mismatch on merge"
+                    )
+                for i, n in enumerate(entry["counts"]):
+                    hist.counts[i] += n
+                hist.total += entry["total"]
+                hist.count += entry["count"]
+            else:
+                raise ValueError(f"unknown metric kind {kind!r}")
+
     def snapshot(self) -> dict:
         """Plain-data snapshot (JSON-serializable), deterministic order."""
         out: dict = {}

@@ -1,0 +1,230 @@
+"""Opt-in sampling profiler with sim-time correlation.
+
+A :class:`Profiler` runs a daemon thread that periodically snapshots the
+target thread's Python stack via ``sys._current_frames()`` — the standard
+low-overhead wall-clock sampling technique (the simulation thread itself
+is never instrumented, so the nil-profiler cost is exactly zero).  Each
+sample additionally records the *simulated* clock of the most recently
+constructed :class:`~repro.netsim.engine.Simulator` (registered through
+the ambient-profiler hook), so a flamegraph can be cross-referenced with
+trace events: "those 40 ms of wall time were spent between sim seconds
+12 and 13, inside the per-packet link path".
+
+This module is the *only* place in the repository that is allowed to read
+the wall clock outside ``wall``-labeled sweep telemetry — it observes the
+host, never the simulation, and nothing it records feeds back into any
+simulated quantity (the determinism contract of docs/observability.md is
+untouched; every ``time`` call below carries an explicit SIM001 pragma).
+
+Exports (suffix-dispatched by :meth:`Profiler.write`):
+
+* **collapsed stacks** (``.txt`` / anything unrecognized): one
+  ``frame;frame;frame count`` line per distinct stack, the input format
+  of every flamegraph renderer since Brendan Gregg's original scripts;
+* **speedscope** (``.json``): the ``"sampled"`` profile flavor of
+  https://www.speedscope.app — load the file in the web UI.
+
+Enable from the CLIs with ``--profile PATH`` (``repro-pathload``,
+``repro-sweep``) or the ``REPRO_PROFILE`` environment variable; the
+benchmark harness also attaches one to every ``REPRO_PERF_GATE`` gate
+test and ships the profile as an artifact when the gate fails.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from typing import Optional
+
+__all__ = ["Profiler", "ProfileSample", "env_profile_path"]
+
+#: Environment variable naming a profile output path (CLI fallback).
+PROFILE_ENV = "REPRO_PROFILE"
+
+#: Default sampling interval: 5 ms ≈ 200 Hz, coarse enough that the
+#: sampler thread stays invisible next to a running simulation.
+DEFAULT_INTERVAL_S = 0.005
+
+
+class ProfileSample:
+    """One stack snapshot: wall time, correlated sim time, frames."""
+
+    __slots__ = ("wall_s", "sim_now", "stack")
+
+    def __init__(self, wall_s: float, sim_now: Optional[float], stack: tuple):
+        self.wall_s = wall_s  #: seconds since Profiler.start()
+        self.sim_now = sim_now  #: simulated seconds, or None before any sim
+        self.stack = stack  #: root-first tuple of "func (file:line)" frames
+
+
+def _frame_label(frame) -> str:
+    code = frame.f_code
+    filename = os.path.basename(code.co_filename)
+    return f"{code.co_name} ({filename}:{code.co_firstlineno})"
+
+
+class Profiler:
+    """Wall-clock stack sampler for the thread that starts it.
+
+    Use as a context manager (or call :meth:`start` / :meth:`stop`)::
+
+        with Profiler() as prof:
+            run_figure(...)
+        prof.write("run.speedscope.json")
+
+    ``samples`` is empty until :meth:`start` runs — a disabled profiler
+    records nothing and costs nothing.
+    """
+
+    def __init__(self, interval_s: float = DEFAULT_INTERVAL_S):
+        if interval_s <= 0:
+            raise ValueError(f"interval must be positive, got {interval_s}")
+        self.interval_s = float(interval_s)
+        self.samples: list[ProfileSample] = []
+        self._target_ident: Optional[int] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._t0 = 0.0
+        # Most recently constructed simulator (ambient hook); read by the
+        # sampler thread for sim-time correlation.  A plain attribute read
+        # of a float is atomic under the GIL — no lock needed.
+        self._sim = None
+        self._prev_ambient = None
+
+    # -- ambient hook ---------------------------------------------------
+    def _watch(self, sim) -> None:
+        """Called by ``Simulator.__init__`` while this profiler is ambient."""
+        self._sim = sim
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "Profiler":
+        """Begin sampling the *calling* thread; returns ``self``."""
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        from ..netsim.engine import set_ambient_profiler
+
+        self._prev_ambient = set_ambient_profiler(self)
+        self._target_ident = threading.get_ident()
+        self._stop.clear()
+        self._t0 = time.perf_counter()  # simlint: disable=SIM001 -- host-side profiler timestamps, outside the simulation
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop sampling (idempotent)."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join()
+        self._thread = None
+        from ..netsim.engine import set_ambient_profiler
+
+        set_ambient_profiler(self._prev_ambient)
+        self._prev_ambient = None
+
+    def __enter__(self) -> "Profiler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- sampler thread -------------------------------------------------
+    def _run(self) -> None:
+        target = self._target_ident
+        interval = self.interval_s
+        samples = self.samples
+        stop = self._stop
+        while not stop.wait(interval):
+            frame = sys._current_frames().get(target)
+            if frame is None:  # pragma: no cover - target thread exited
+                break
+            stack = []
+            while frame is not None:
+                stack.append(_frame_label(frame))
+                frame = frame.f_back
+            stack.reverse()
+            sim = self._sim
+            sim_now = sim._now if sim is not None else None
+            wall = time.perf_counter() - self._t0  # simlint: disable=SIM001 -- host-side profiler timestamps, outside the simulation
+            samples.append(ProfileSample(wall, sim_now, tuple(stack)))
+
+    # -- aggregation + export -------------------------------------------
+    def collapsed(self) -> str:
+        """Aggregated collapsed-stack text (flamegraph.pl input)."""
+        counts: dict[tuple, int] = {}
+        for sample in self.samples:
+            counts[sample.stack] = counts.get(sample.stack, 0) + 1
+        lines = [
+            ";".join(stack) + f" {n}"
+            for stack, n in sorted(counts.items())
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def speedscope(self, name: str = "repro-profile") -> dict:
+        """The https://www.speedscope.app ``sampled`` JSON document.
+
+        Sim-time correlation rides along: each sample's simulated clock is
+        exported as ``simTimes`` (same indexing as ``samples``), a
+        documented extension field viewers simply ignore.
+        """
+        frame_index: dict[str, int] = {}
+        frames: list[dict] = []
+        sample_stacks: list[list[int]] = []
+        weights: list[float] = []
+        sim_times: list[Optional[float]] = []
+        for sample in self.samples:
+            indexed = []
+            for label in sample.stack:
+                idx = frame_index.get(label)
+                if idx is None:
+                    idx = frame_index[label] = len(frames)
+                    frames.append({"name": label})
+                indexed.append(idx)
+            sample_stacks.append(indexed)
+            weights.append(self.interval_s)
+            sim_times.append(sample.sim_now)
+        end = self.samples[-1].wall_s if self.samples else 0.0
+        return {
+            "$schema": "https://www.speedscope.app/file-format-schema.json",
+            "shared": {"frames": frames},
+            "profiles": [
+                {
+                    "type": "sampled",
+                    "name": name,
+                    "unit": "seconds",
+                    "startValue": 0.0,
+                    "endValue": end,
+                    "samples": sample_stacks,
+                    "weights": weights,
+                    "simTimes": sim_times,
+                }
+            ],
+            "name": name,
+            "exporter": "repro.obs.profiler",
+        }
+
+    def write(self, path: str) -> None:
+        """Suffix-dispatched export: ``.json`` → speedscope, anything else
+        → collapsed-stack text."""
+        if path.endswith(".json"):
+            with open(path, "w") as fh:
+                json.dump(self.speedscope(), fh)
+        else:
+            with open(path, "w") as fh:
+                fh.write(self.collapsed())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "running" if self._thread is not None else "stopped"
+        return f"<Profiler {len(self.samples)} samples ({state})>"
+
+
+def env_profile_path() -> Optional[str]:
+    """Profile output path from ``REPRO_PROFILE``, or ``None``."""
+    return os.environ.get(PROFILE_ENV) or None

@@ -106,6 +106,43 @@ class FleetDecision:
     t_start: float
     t_end: float
 
+    def to_dict(self) -> dict:
+        """Plain-dict form used by the result envelope and JSONL exporter."""
+        return {
+            "index": self.index,
+            "rate_bps": self.rate_bps,
+            "outcome": self.outcome,
+            "stream_types": self.stream_types,
+            "pct": list(self.pct),
+            "pdt": list(self.pdt),
+            "n_increasing": self.n_increasing,
+            "n_nonincreasing": self.n_nonincreasing,
+            "bracket_before": list(self.bracket_before),
+            "bracket_after": list(self.bracket_after),
+            "next_rate_bps": self.next_rate_bps,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetDecision":
+        """Inverse of :meth:`to_dict` (lists restored to tuples)."""
+        return cls(
+            index=data["index"],
+            rate_bps=data["rate_bps"],
+            outcome=data["outcome"],
+            stream_types=data["stream_types"],
+            pct=tuple(data["pct"]),
+            pdt=tuple(data["pdt"]),
+            n_increasing=data["n_increasing"],
+            n_nonincreasing=data["n_nonincreasing"],
+            bracket_before=tuple(data["bracket_before"]),
+            bracket_after=tuple(data["bracket_after"]),
+            next_rate_bps=data["next_rate_bps"],
+            t_start=data["t_start"],
+            t_end=data["t_end"],
+        )
+
 
 def _bracket(state) -> tuple[float, float, Optional[float], Optional[float]]:
     """(rmin, rmax, gmin, gmax) from an AdjusterState."""
@@ -129,7 +166,15 @@ class Tracer:
     :meth:`write_prometheus`, or suffix-dispatched :meth:`write`.
     """
 
-    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+    def __init__(
+        self, metrics: Optional[MetricsRegistry] = None, light: bool = False
+    ):
+        #: Light mode buffers only aggregate counters, spans, and decision
+        #: records — never per-packet events — so the event-elided fast
+        #: paths (stream transit *and* flow transit) stay engaged.  Full
+        #: tracers (the default) get per-packet visibility at the cost of
+        #: dissolving flow transit (docs/observability.md has the matrix).
+        self.light = bool(light)
         self.events: list[TraceEvent] = []
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.decisions: list[FleetDecision] = []
@@ -143,6 +188,14 @@ class Tracer:
         self._engine_events = 0
         self._heap_high_water = 0
         self._queue_high_water: dict[str, int] = {}
+        # Kernel-selection counters are process-wide; baseline them at
+        # construction so this tracer reports activity *it observed* —
+        # essential in (possibly reused, possibly forked) sweep workers.
+        self._kernel_base = netsim_kernels.counts()
+        # Child-tracer telemetry folded in by :meth:`merge_child`.
+        self._kernel_merged: tuple[dict, dict] = ({}, {})
+        self._sched_merged: dict[str, int] = {}
+        self._merged_tasks = 0
 
     # ------------------------------------------------------------------
     # Wiring
@@ -151,13 +204,19 @@ class Tracer:
         """Install this tracer on ``sim``; components built afterwards
         cache it at construction.  Returns ``self`` for chaining."""
         sim.tracer = self
-        self._sims.append(sim)
+        if sim not in self._sims:
+            self._sims.append(sim)
         return self
 
     def register_link(self, link) -> None:
         """Track ``link`` for per-link metrics; retrofits the link's cached
-        tracer slot if the link was built before :meth:`attach`."""
-        link._tracer = self
+        tracer slot if the link was built before :meth:`attach`.  Light
+        tracers leave the slot ``None``: per-packet drop/enqueue callbacks
+        stay off and the link's whole-stream fast-forward stays eligible —
+        the link still feeds the cumulative per-link metrics via
+        :meth:`collect_metrics`."""
+        if not self.light:
+            link._tracer = self
         if link.name not in self._link_names:
             self._link_names.add(link.name)
             self._links.append(link)
@@ -207,6 +266,8 @@ class Tracer:
     # ------------------------------------------------------------------
     def on_link_drop(self, link, pkt, now: float) -> None:
         """A foreground packet hit the drop-tail buffer (or qdisc) of ``link``."""
+        if self.light:  # per-packet events are exactly what light mode trades away
+            return
         self.instant(
             now,
             "link",
@@ -273,6 +334,9 @@ class Tracer:
         Idempotent in the sense that gauges are set (not accumulated) and
         the per-link counters are set from the links' cumulative stats.
         """
+        from ..netsim.flowtransit import FLOW_FALLBACK_REASONS
+        from ..netsim.streamtransit import STREAM_FALLBACK_REASONS
+
         m = self.metrics
         m.gauge(
             "repro_engine_events_executed",
@@ -282,7 +346,48 @@ class Tracer:
             "repro_engine_heap_high_water",
             help="largest event-heap size observed",
         ).high_water(self._heap_high_water)
-        netsim_kernels.publish(m)
+        sched: dict[str, int] = dict(self._sched_merged)
+        for sim in self._sims:
+            kind = getattr(sim, "scheduler", "heap")
+            sched[kind] = sched.get(kind, 0) + 1
+        for kind in sorted(sched):
+            m.gauge(
+                "repro_engine_simulators",
+                labels={"scheduler": kind},
+                help="simulators observed, by scheduler kind",
+            ).set(sched[kind])
+        netsim_kernels.publish(
+            m, base=self._kernel_base, merged=self._kernel_merged
+        )
+        # Declared-but-zero fast-path series: dashboards and the health
+        # report see every known reason before its first increment.
+        m.counter(
+            "repro_fastpath_streams_total",
+            help="probe streams carried by the analytic stream-transit "
+            "fast path",
+        )
+        for reason in STREAM_FALLBACK_REASONS:
+            m.counter(
+                "repro_fastpath_fallback_total",
+                labels={"reason": reason},
+                help="probe streams that took the per-packet path, by reason",
+            )
+        m.counter(
+            "repro_fastpath_flows_total",
+            help="TCP flows carried by the flow-transit fast path",
+        )
+        for reason in FLOW_FALLBACK_REASONS:
+            m.counter(
+                "repro_fastpath_flow_fallback_total",
+                labels={"reason": reason},
+                help="TCP flows that took the per-packet path, by reason",
+            )
+        for path in ("elided", "per-packet"):
+            m.counter(
+                "repro_probe_packets_total",
+                labels={"path": path},
+                help="probe packets by transit path at send time",
+            )
         for link in self._links:
             stats = link.stats  # folds pending bulk arrivals first
             labels = {"link": link.name}
@@ -306,17 +411,111 @@ class Tracer:
             ).high_water(self._queue_high_water[name])
         return m
 
+    # ------------------------------------------------------------------
+    # Cross-process envelope codec (repro.parallel)
+    # ------------------------------------------------------------------
+    def dump_state(self) -> dict:
+        """Serialize this tracer for the sweep result envelope.
+
+        Plain data only (JSON/pickle-safe): events, decisions, and a
+        lossless metrics dump.  A sweep worker calls this after its task
+        and the parent folds it back with :meth:`merge_child`; the same
+        payload is stored in the ``.repro_cache`` entry so cache hits
+        replay telemetry bit-identically.
+        """
+        return {
+            "version": 1,
+            "light": self.light,
+            "events": [e.to_dict() for e in self.events],
+            "decisions": [d.to_dict() for d in self.decisions],
+            "metrics": self.collect_metrics().dump(),
+        }
+
+    def merge_child(self, state: Optional[dict], index: int) -> None:
+        """Fold a child tracer's :meth:`dump_state` into this tracer.
+
+        Events keep their sim timestamps but move to task-namespaced
+        tracks (``task<index>/<track>``, with ``index`` the submission
+        index), so the merged stream — and hence :meth:`event_digest` —
+        is identical however tasks were distributed over workers or
+        replayed from cache.  Counters and histograms add; gauges fold by
+        max; per-link series are namespaced like tracks; engine and
+        kernel counters fold into this tracer's own accumulators so
+        totals stay layout-independent.
+        """
+        if not state:
+            return
+        prefix = f"task{index}/"
+        append = self.events.append
+        for data in state.get("events", ()):
+            ev = TraceEvent.from_dict(data)
+            append(
+                TraceEvent(
+                    ts=ev.ts,
+                    name=ev.name,
+                    cat=ev.cat,
+                    track=prefix + ev.track,
+                    dur=ev.dur,
+                    args=ev.args,
+                )
+            )
+        for data in state.get("decisions", ()):
+            self.decisions.append(FleetDecision.from_dict(data))
+        merged_calls, merged_fallbacks = self._kernel_merged
+        passthrough: list[dict] = []
+        for entry in state.get("metrics", ()):
+            name = entry["name"]
+            labels = dict(entry.get("labels", ()))
+            if name == "repro_kernel_calls_total":
+                k = labels.get("kernel", "")
+                merged_calls[k] = merged_calls.get(k, 0) + entry["value"]
+            elif name == "repro_kernel_fallback_total":
+                r = labels.get("reason", "")
+                if r in netsim_kernels.ONE_SHOT_REASONS:
+                    merged_fallbacks[r] = max(
+                        merged_fallbacks.get(r, 0), entry["value"]
+                    )
+                else:
+                    merged_fallbacks[r] = (
+                        merged_fallbacks.get(r, 0) + entry["value"]
+                    )
+            elif name == "repro_engine_events_executed":
+                self._engine_events += entry["value"]
+            elif name == "repro_engine_heap_high_water":
+                if entry["value"] > self._heap_high_water:
+                    self._heap_high_water = entry["value"]
+            elif name == "repro_engine_simulators":
+                kind = labels.get("scheduler", "heap")
+                self._sched_merged[kind] = (
+                    self._sched_merged.get(kind, 0) + entry["value"]
+                )
+            else:
+                if "link" in labels:
+                    entry = dict(entry)
+                    entry["labels"] = [
+                        [k, prefix + v if k == "link" else v]
+                        for k, v in entry["labels"]
+                    ]
+                passthrough.append(entry)
+        self.metrics.merge(passthrough)
+        self._merged_tasks += 1
+
     def event_digest(self) -> str:
-        """Digest of the event stream (wall-clock args excluded)."""
+        """Digest of the event stream (wall/host-prefixed args excluded)."""
         from .exporters import events_digest
 
         return events_digest(self.events)
 
     def write_jsonl(self, path: str) -> None:
-        """Write the trace (events + metrics snapshot) as JSONL."""
+        """Write the trace (events + decisions + metrics snapshot) as JSONL."""
         from .exporters import write_jsonl
 
-        write_jsonl(self.events, path, metrics=self.collect_metrics())
+        write_jsonl(
+            self.events,
+            path,
+            metrics=self.collect_metrics(),
+            decisions=self.decisions,
+        )
 
     def write_perfetto(self, path: str) -> None:
         """Write a Chrome trace-event JSON file loadable in Perfetto."""

@@ -121,6 +121,9 @@ class SweepOutcome:
     #: host wall-clock seconds the worker spent (``None`` for cache hits).
     #: Explicitly wall-labeled telemetry — never a simulated quantity.
     wall_s: Optional[float] = None
+    #: child-tracer telemetry (``Tracer.dump_state()``) captured while the
+    #: task ran, or replayed from the cache entry; ``None`` untraced.
+    telemetry: Optional[dict] = field(default=None, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -216,13 +219,35 @@ def clear_cache(cache_dir: Optional[str] = None) -> bool:
     return True
 
 
-def _cache_load(path: str) -> tuple[bool, Any]:
-    """(hit, value); corrupt or unreadable entries count as misses."""
+@dataclass
+class _CacheEnvelope:
+    """On-disk cache record: the task value plus captured telemetry.
+
+    ``capture`` records how the telemetry was collected (``None`` for an
+    untraced run, ``"light"`` / ``"full"`` otherwise) so a traced sweep
+    only replays entries whose telemetry matches its own capture mode —
+    cache hits then reproduce a cold traced run bit-identically.
+    """
+
+    value: Any
+    capture: Optional[str] = None
+    telemetry: Optional[dict] = None
+
+
+def _cache_load(path: str) -> tuple[bool, Any, Optional[str], Optional[dict]]:
+    """(hit, value, capture, telemetry); corrupt entries count as misses.
+
+    Pre-envelope entries (bare pickled values) still load, reported as
+    ``capture=None``.
+    """
     try:
         with open(path, "rb") as fh:
-            return True, pickle.load(fh)
+            entry = pickle.load(fh)
     except (OSError, pickle.PickleError, EOFError, AttributeError):
-        return False, None
+        return False, None, None, None
+    if isinstance(entry, _CacheEnvelope):
+        return True, entry.value, entry.capture, entry.telemetry
+    return True, entry, None, None
 
 
 def _cache_store(path: str, value: Any) -> None:
@@ -259,13 +284,27 @@ def set_default_tracer(tracer) -> Any:
     return previous
 
 
-def _invoke(task: SweepTask) -> tuple[bool, Any, float]:
-    """Run one task, capturing any exception as a formatted traceback.
+def _invoke(
+    item: tuple[SweepTask, Optional[str]],
+) -> tuple[bool, Any, float, Optional[dict]]:
+    """Run one ``(task, capture)`` item, capturing exceptions as tracebacks.
 
     Module-level so process pools can pickle it by reference; the
-    ``(ok, payload, wall_s)`` protocol keeps worker crashes from poisoning
-    the pool and carries the host-side wall time back for telemetry.
+    ``(ok, payload, wall_s, telemetry)`` protocol keeps worker crashes from
+    poisoning the pool and carries host wall time plus (when ``capture``
+    is ``"light"``/``"full"``) the child tracer's serialized telemetry
+    back to the parent.  The child tracer is installed as the process
+    *ambient* tracer for the duration of the call, so every simulator the
+    task function builds internally adopts it at construction.
     """
+    task, capture = item
+    child = previous = None
+    if capture is not None:
+        from .netsim.engine import set_ambient_tracer
+        from .obs import Tracer
+
+        child = Tracer(light=(capture == "light"))
+        previous = set_ambient_tracer(child)
     # Wall-clock here times the *worker process* running one simulation —
     # sweep telemetry, never a simulated quantity.
     t0 = time.perf_counter()  # simlint: disable=SIM001 -- host-side task timing, outside the simulation
@@ -274,9 +313,17 @@ def _invoke(task: SweepTask) -> tuple[bool, Any, float]:
             value = task.fn(task.seed_entropy, **dict(task.kwargs))
         else:
             value = task.fn(**dict(task.kwargs))
-        return True, value, time.perf_counter() - t0  # simlint: disable=SIM001 -- host-side task timing, outside the simulation
+        ok, payload = True, value
     except Exception:
-        return False, traceback.format_exc(), time.perf_counter() - t0  # simlint: disable=SIM001 -- host-side task timing, outside the simulation
+        ok, payload = False, traceback.format_exc()
+    finally:
+        wall_s = time.perf_counter() - t0  # simlint: disable=SIM001 -- host-side task timing, outside the simulation
+        if capture is not None:
+            from .netsim.engine import set_ambient_tracer
+
+            set_ambient_tracer(previous)
+    telemetry = child.dump_state() if child is not None else None
+    return ok, payload, wall_s, telemetry
 
 
 def run_sweep(
@@ -299,49 +346,90 @@ def run_sweep(
     failure into a :class:`SweepError` naming the offending seed/config.
 
     ``tracer`` (or the process default from :func:`set_default_tracer`)
-    receives sweep telemetry: cache hit/miss counters, per-task wall-time
-    histograms, and one lifecycle event per task.  Sweep event timestamps
-    are submission indices (there is no simulated clock here); wall times
-    live only in ``wall``-prefixed args and metrics, which trace diffs
-    ignore.
+    receives sweep telemetry at two levels.  The parent level is cache
+    hit/miss counters, per-task wall-time histograms, and one lifecycle
+    event per task.  Below that, every executed task runs under a *child*
+    tracer (light when the parent is light) installed as the worker's
+    ambient tracer; its events, metrics, and fleet decision records come
+    back in the result envelope — and in the cache entry, so hits replay
+    them bit-identically — and are merged in submission order onto
+    task-namespaced tracks (``task<i>/...``).  The merged event digest is
+    therefore identical across ``jobs`` values and cache hit/miss mixes.
+    Sweep event timestamps are submission indices (there is no simulated
+    clock here); host-varying quantities live only in ``wall``/``host``-
+    prefixed args and metrics, which trace digests ignore.
     """
     tasks = list(tasks)
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     if tracer is None:
         tracer = _default_tracer
+    capture: Optional[str] = None
+    if tracer is not None:
+        capture = "light" if getattr(tracer, "light", False) else "full"
     outcomes: list[Optional[SweepOutcome]] = [None] * len(tasks)
 
     pending: list[int] = []
     if cache:
         for i, task in enumerate(tasks):
-            hit, value = _cache_load(cache_path(task, cache_dir))
-            if hit:
-                outcomes[i] = SweepOutcome(task=task, value=value, cached=True)
+            hit, value, entry_capture, telemetry = _cache_load(
+                cache_path(task, cache_dir)
+            )
+            # A traced sweep only accepts entries carrying telemetry of its
+            # own capture mode: replaying them reproduces a cold traced run
+            # bit-identically, and anything else re-runs (and re-stores).
+            if hit and (capture is None or entry_capture == capture):
+                outcomes[i] = SweepOutcome(
+                    task=task,
+                    value=value,
+                    cached=True,
+                    telemetry=telemetry if capture is not None else None,
+                )
             else:
                 pending.append(i)
     else:
         pending = list(range(len(tasks)))
 
     if pending:
+        items = [(tasks[i], capture) for i in pending]
         if jobs == 1 or len(pending) == 1:
-            results = [_invoke(tasks[i]) for i in pending]
+            results = [_invoke(item) for item in items]
         else:
             workers = min(jobs, len(pending))
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 # Executor.map preserves input order, which is all the
                 # determinism the collation step needs.
-                results = list(pool.map(_invoke, (tasks[i] for i in pending)))
-        for i, (ok, payload, wall_s) in zip(pending, results):
+                results = list(pool.map(_invoke, items))
+        for i, (ok, payload, wall_s, telemetry) in zip(pending, results):
             task = tasks[i]
             if ok:
-                outcomes[i] = SweepOutcome(task=task, value=payload, wall_s=wall_s)
+                outcomes[i] = SweepOutcome(
+                    task=task, value=payload, wall_s=wall_s, telemetry=telemetry
+                )
                 if cache:
-                    _cache_store(cache_path(task, cache_dir), payload)
+                    _cache_store(
+                        cache_path(task, cache_dir),
+                        _CacheEnvelope(
+                            value=payload, capture=capture, telemetry=telemetry
+                        ),
+                    )
             else:
-                outcomes[i] = SweepOutcome(task=task, error=payload, wall_s=wall_s)
+                outcomes[i] = SweepOutcome(
+                    task=task, error=payload, wall_s=wall_s, telemetry=telemetry
+                )
 
     if tracer is not None:
+        # Fold child telemetry in submission order — before the parent's
+        # own lifecycle events — so the merged stream (and its digest) is
+        # identical across jobs values and cache hit/miss mixes.
+        for i, outcome in enumerate(outcomes):
+            tracer.merge_child(outcome.telemetry, i)
+        # Tasks executed serially ran *in this process*, advancing the
+        # process-wide kernel counters the child tracers already reported;
+        # re-baseline so the parent's own delta doesn't double-count them.
+        from .netsim import kernels as _kernels
+
+        tracer._kernel_base = _kernels.counts()
         _record_sweep_telemetry(tracer, outcomes, jobs=jobs, cache=cache)
     return outcomes  # type: ignore[return-value]
 
@@ -379,14 +467,17 @@ def _record_sweep_telemetry(
                 help="host wall-clock time per executed sweep task",
             ).observe(outcome.wall_s)
         # Event timestamps on the sweep track are submission indices —
-        # the executor's only deterministic "clock".
+        # the executor's only deterministic "clock".  Executor facts that
+        # vary across runs of the same sweep (cache hit vs fresh, worker
+        # count) are ``host``-prefixed: the event digest drops them, so
+        # merged traces diff clean across jobs values and cache states.
         args = {
             "experiment": task.experiment,
             "index": index,
-            "cached": outcome.cached,
+            "host_cached": outcome.cached,
             "ok": outcome.ok,
-            "jobs": jobs,
-            "cache": cache,
+            "host_jobs": jobs,
+            "host_cache": cache,
         }
         if task.seed_entropy is not None:
             args["seed_entropy"] = task.seed_entropy

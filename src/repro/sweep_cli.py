@@ -71,8 +71,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace",
         metavar="PATH",
         help=(
-            "write sweep telemetry (task lifecycle, cache hit/miss, wall "
-            "times) as a trace (.jsonl, .prom, or Perfetto JSON)"
+            "write merged sweep telemetry — task lifecycle, cache hit/miss, "
+            "wall times, plus every task's own captured trace under a "
+            "task<i>/ track prefix — as a trace (.jsonl, .prom, or "
+            "Perfetto JSON)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-light",
+        action="store_true",
+        help=(
+            "with --trace/--health: capture each task under a light tracer "
+            "(aggregate counters, decisions, and flow/fleet spans only; "
+            "keeps every event-elision fast path alive in the workers)"
+        ),
+    )
+    parser.add_argument(
+        "--health",
+        action="store_true",
+        help=(
+            "print a run-health audit from the merged sweep metrics; "
+            "implies a light tracer when --trace is not given"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        help=(
+            "sample this process's call stack during the sweep and write a "
+            "profile (.json for speedscope, anything else for collapsed "
+            "flamegraph stacks); REPRO_PROFILE=PATH does the same"
         ),
     )
     parser.add_argument(
@@ -149,12 +177,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     tracer = None
     previous = None
-    if args.trace:
+    if args.trace or args.health:
         from .obs import Tracer
         from .parallel import set_default_tracer
 
-        tracer = Tracer()
+        # --health alone audits without dissolving any fast path.
+        light = args.trace_light or (args.health and not args.trace)
+        tracer = Tracer(light=light)
         previous = set_default_tracer(tracer)
+    profiler = None
+    from .obs.profiler import env_profile_path
+
+    profile_path = args.profile or env_profile_path()
+    if profile_path:
+        from .obs import Profiler
+
+        profiler = Profiler().start()
     try:
         for key in ids:
             run_fn = REGISTRY[key]
@@ -171,14 +209,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 file=sys.stderr,
             )
     finally:
+        if profiler is not None:
+            profiler.stop()
+            profiler.write(profile_path)
+            print(
+                f"profile written to {profile_path} "
+                f"({len(profiler.samples)} samples)",
+                file=sys.stderr,
+            )
         if tracer is not None:
             from .parallel import set_default_tracer
 
             set_default_tracer(previous)
-    if tracer is not None:
+    if tracer is not None and args.trace:
         tracer.write(args.trace)
         print(f"trace written to {args.trace} ({len(tracer.events)} events)",
               file=sys.stderr)
+    if args.health and tracer is not None:
+        from .obs import health_from_tracer
+
+        print(health_from_tracer(tracer).render_text())
     return 0
 
 

@@ -197,6 +197,12 @@ class ProbeChannel:
                     ).inc()
         else:
             self._note_fallback("disabled")
+        if self._tracer is not None and spec.n_packets:
+            self._tracer.metrics.counter(
+                "repro_probe_packets_total",
+                labels={"path": "elided" if plan is not None else "per-packet"},
+                help="probe packets by transit path at send time",
+            ).inc(spec.n_packets)
         if plan is None and schedule:
             # Per-packet path: one self-rescheduling sender callback — a
             # single outstanding heap entry per in-flight stream, not K.

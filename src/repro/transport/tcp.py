@@ -286,7 +286,13 @@ class TCPSender:
         self.timeouts = 0
         self.cwnd_log: list[tuple[float, float]] = []
         # Cached tracer: the nil path costs one None-check per cwnd change.
-        self._tracer = sim.tracer
+        # Light tracers cache None: per-ack cwnd/rto instants are exactly
+        # the per-packet visibility --trace-light trades away, and a None
+        # slot keeps the flow eligible for the inlined transmit kernel.
+        tracer = sim.tracer
+        self._tracer = (
+            tracer if tracer is not None and not tracer.light else None
+        )
 
     # ------------------------------------------------------------------
     # Public control

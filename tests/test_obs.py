@@ -346,7 +346,8 @@ class TestSweepTelemetry:
         assert snap["repro_sweep_task_wall_seconds"]["samples"]
         events = [e for e in tracer.events if e.cat == "sweep"]
         assert len(events) == 6
-        assert {e.args["cached"] for e in events} == {False, True}
+        # host_ prefix marks executor-layout facts the digest excludes
+        assert {e.args["host_cached"] for e in events} == {False, True}
         # sweep timestamps are submission indices, not wall clock
         assert sorted(e.ts for e in events) == [0.0, 0.0, 1.0, 1.0, 2.0, 2.0]
 
