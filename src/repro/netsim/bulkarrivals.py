@@ -29,8 +29,20 @@ path generates: arrival times are the identical floating-point sums
 the same RNG draws in the same chunk order, and same-timestamp arrivals
 merge in source-registration order (the per-packet path orders exact ties
 by event insertion; with continuous interarrival draws such ties have
-probability zero).  See ``docs/performance.md`` for the full contract and
-the fallback conditions.
+probability zero).
+
+Modulated sources (``modulation=(interval, sigma)``) feed the aggregator
+in *segment-planned* batches: generation runs one rate-factor segment at
+a time, dividing each gap by the factor in force at the previous
+arrival's instant and consuming each boundary's lognormal factor draw at
+exactly the RNG position the per-packet ``_modulate`` timer would, so
+every floating-point expression matches.  An arrival landing exactly on
+a segment boundary is a measure-zero tie of the same kind: the bulk
+generator applies the boundary first (the next gap uses the
+post-boundary factor) while the per-packet ordering depends on event
+insertion — continuous draws never produce the collision.  See the
+``crosstraffic`` module docstring and ``docs/performance.md`` for the
+full contract and the fallback conditions.
 """
 
 from __future__ import annotations

@@ -26,11 +26,33 @@ source:
   observes a bit-identical queue.
 * **Per-packet (fallback).**  One heap event plus O(1) Python work per
   packet.  Engaged automatically when the sample path could depend on
-  per-packet interaction: a *modulated* source (rate draws interleave with
-  refills in sim time), or a link with a ``qdisc`` (AQM must see every
+  per-packet interaction: a link with a ``qdisc`` (AQM must see every
   packet), a ``drop_hook``, or a rebound delivery callback (taps must see
   every packet).  ``bulk=False`` forces this path, e.g. for equivalence
   tests.
+
+Modulated sources and the bulk path
+-----------------------------------
+A ``modulation=(interval, sigma)`` source is piecewise-constant: its
+rate factor only changes at the segment boundaries ``start + k *
+interval``.  The bulk generator therefore emits its batched arrival
+arrays *per rate-factor segment*: it walks the same gap draws the
+per-packet path would consume, divides each gap by the factor in force
+at the previous arrival's instant, and draws each boundary's
+mean-reverting factor at the exact position in the source's RNG stream
+where the per-packet ``_modulate`` event would draw it (boundaries
+interleave with refills in event order; see ``_mod_consume``).  Draws
+may happen *earlier in host time* — the established ``extend_until``
+contract — but per-source draw order, and therefore every arrival
+time, is bit-identical.
+
+One measure-zero caveat: when an arrival lands **exactly** on a segment
+boundary, the bulk generator applies the boundary first (the arrival's
+own time is unaffected; the *next* gap uses the post-boundary factor),
+while the per-packet path's ordering depends on event insertion order.
+For the continuous interarrival models a float-exact collision has
+probability zero, matching the exact-tie merge caveat documented in
+``bulkarrivals.py``.
 """
 
 from __future__ import annotations
@@ -125,7 +147,9 @@ class CrossTrafficSource:
         load on top of the packet-scale burstiness — without it, the
         avail-bw process is stationary at every timescale, which real paths
         (Section VI) are not.  The long-run average rate stays ``rate_bps``.
-        A modulated source always uses the per-packet path.
+        Modulation is piecewise-constant between boundaries, so a modulated
+        source is bulk-eligible: arrivals are batch-generated per
+        rate-factor segment (see the module docstring).
     bulk:
         ``None`` (default) selects the event-elided bulk path whenever the
         source and link are eligible; ``False`` forces the per-packet
@@ -186,6 +210,14 @@ class CrossTrafficSource:
         )
         self._mod_factor = 1.0
         self.modulation = modulation
+        # Segment-boundary chain: boundaries sit at exactly
+        # ``_mod_anchor + k * interval`` (no float accumulation drift), on
+        # both data paths.  ``_mod_next_b`` is the first boundary whose
+        # factor draw has not been consumed yet; +inf once the chain dies
+        # at ``stop`` (the per-packet event returns without rescheduling).
+        self._mod_anchor = float(start)
+        self._mod_k = 0
+        self._mod_next_b = float("inf")
         # Bulk-path state (see _bulk_fill / _resume_per_packet).
         self._feed = None
         self._bulk_clock = float(start)
@@ -202,12 +234,17 @@ class CrossTrafficSource:
                 raise ValueError(
                     f"modulation needs interval > 0 and sigma >= 0, got {modulation}"
                 )
-            sim.schedule_at(start, self._modulate)
+            self._mod_next_b = float(start)
         self._pp_claimed = False
-        if rate_bps > 0:
-            if bulk is not False and self._bulk_eligible():
-                self._feed = CrossAggregator.attach(sim, link).register(self)
-            else:
+        if rate_bps > 0 and bulk is not False and self._bulk_eligible():
+            # Bulk sources consume boundary draws inside _bulk_fill; no
+            # per-boundary events exist until a decommission restarts the
+            # chain in _resume_per_packet.
+            self._feed = CrossAggregator.attach(sim, link).register(self)
+        else:
+            if modulation is not None:
+                sim.schedule_at(start, self._modulate)
+            if rate_bps > 0:
                 self._claim_per_packet()
                 first_gap = self._warmup_offset()
                 sim.schedule_at(start + first_gap, self._arrival)
@@ -277,17 +314,17 @@ class CrossTrafficSource:
     def _bulk_eligible(self) -> bool:
         """Whether the event-elided path reproduces this source exactly.
 
-        Three things disqualify a source: *modulation* (rate-factor draws
-        interleave with refills in sim time, so precomputing a batch would
-        permute the RNG stream), a link *qdisc* or *drop_hook* (both must
-        observe every packet), and a link whose delivery callback is not
-        the owning network's forwarding routine (a tap or custom handler
-        must see every cross packet exit).
+        Two things disqualify a source: a link *qdisc* or *drop_hook*
+        (both must observe every packet), and a link whose delivery
+        callback is not the owning network's forwarding routine (a tap or
+        custom handler must see every cross packet exit).  Modulation does
+        *not* disqualify: rate factors are piecewise-constant, so
+        ``_bulk_fill`` generates per-segment batches with the boundary
+        draws taken at their exact positions in the RNG stream.
         """
         link = self.link
         return (
-            self.modulation is None
-            and link.qdisc is None
+            link.qdisc is None
             and link.drop_hook is None
             and link.deliver == self.network._advance
         )
@@ -350,15 +387,56 @@ class CrossTrafficSource:
         self.sim.schedule(self._next_gap() / self._mod_factor, self._arrival)
 
     def _modulate(self) -> None:
-        """Mean-reverting lognormal random walk of the instantaneous rate."""
+        """Mean-reverting lognormal random walk of the instantaneous rate.
+
+        Rescheduled at the exactly representable ``anchor + k * interval``
+        (not ``now + interval``), so segment boundaries carry no float
+        accumulation drift and the bulk generator's ``_mod_consume`` lands
+        on bit-identical boundary instants.
+        """
         if self.stop is not None and self.sim.now >= self.stop:
+            self._mod_next_b = float("inf")  # chain dies permanently
             return
         interval, sigma = self.modulation  # type: ignore[misc]
         # pull the log-factor halfway back to 0, then perturb
         log_factor = 0.5 * float(np.log(self._mod_factor))
         log_factor += float(self.rng.normal(0.0, sigma))
         self._mod_factor = float(np.clip(np.exp(log_factor), 0.25, 2.5))
-        self.sim.schedule(interval, self._modulate)
+        self._mod_k += 1
+        self._mod_next_b = self._mod_anchor + self._mod_k * interval
+        self.sim.schedule_at(self._mod_next_b, self._modulate)
+
+    def _mod_consume(self, limit: float, inclusive: bool = True) -> None:
+        """Consume every boundary draw up to ``limit`` (batch twin of the
+        ``_modulate`` event chain).
+
+        Applies the identical float expressions in the identical RNG
+        stream positions; ``inclusive`` selects ``b <= limit`` (the bulk
+        generator's boundary-first tie rule) vs ``b < limit`` (used by
+        ``_resume_per_packet``, where a boundary at exactly *now* must
+        stay an event because the decommission fired first).
+        """
+        b = self._mod_next_b
+        if (b > limit) if inclusive else (b >= limit):
+            return
+        interval, sigma = self.modulation  # type: ignore[misc]
+        stop = self.stop
+        anchor = self._mod_anchor
+        k = self._mod_k
+        rng = self.rng
+        f = self._mod_factor
+        while (b <= limit) if inclusive else (b < limit):
+            if stop is not None and b >= stop:
+                b = float("inf")  # chain dies permanently, factor frozen
+                break
+            log_factor = 0.5 * float(np.log(f))
+            log_factor += float(rng.normal(0.0, sigma))
+            f = float(np.clip(np.exp(log_factor), 0.25, 2.5))
+            k += 1
+            b = anchor + k * interval
+        self._mod_factor = f
+        self._mod_k = k
+        self._mod_next_b = b
 
     # ------------------------------------------------------------------
     # Bulk data path
@@ -370,8 +448,29 @@ class CrossTrafficSource:
         per-packet path computes: ``Simulator.schedule(gap, ...)`` adds
         ``gap`` to the current arrival's timestamp, and so does the
         running ``t += gap`` here.  RNG consumption order — warmup draw,
-        then alternating gap/size chunks per refill — is byte-identical.
+        then alternating gap/size chunks per refill, with modulation
+        boundary draws interleaved at their event positions — is
+        byte-identical.
         """
+        if self.modulation is not None:
+            times, sizes = self._segmented_times()
+        else:
+            times, sizes = self._stationary_times()
+        stop = self.stop
+        if stop is not None and times and times[-1] >= stop:
+            # The per-packet path returns (without rescheduling) at the
+            # first arrival >= stop; truncate there and finish the feed.
+            keep = bisect_left(times, stop)
+            del times[keep:]
+            sizes = sizes[:keep]
+            feed.done = True
+        self._gen_packets += len(times)
+        self._gen_bytes += sum(sizes)
+        feed.times.extend(times)
+        feed.sizes.extend(sizes)
+
+    def _stationary_times(self) -> tuple[list[float], list[int]]:
+        """One unmodulated refill horizon of absolute arrival times."""
         skip_first_gap = False
         if self._bulk_first:
             self._bulk_first = False
@@ -394,18 +493,85 @@ class CrossTrafficSource:
             times = kernels.prefix_sum(self._bulk_clock, gaps)
             del times[0]
         self._bulk_clock = times[-1]
-        stop = self.stop
-        if stop is not None and times and times[-1] >= stop:
-            # The per-packet path returns (without rescheduling) at the
-            # first arrival >= stop; truncate there and finish the feed.
-            keep = bisect_left(times, stop)
-            del times[keep:]
-            sizes = sizes[:keep]
-            feed.done = True
-        self._gen_packets += len(times)
-        self._gen_bytes += sum(sizes)
-        feed.times.extend(times)
-        feed.sizes.extend(sizes)
+        return times, sizes
+
+    def _segmented_times(self) -> tuple[list[float], list[int]]:
+        """One modulated refill horizon, generated per rate-factor segment.
+
+        Walks the batch's gap draws exactly as the per-packet path's
+        event chain would: each gap is divided by the factor in force at
+        the *previous* arrival's instant (``schedule(gap / factor)``
+        happens at that event), and each boundary's factor draw is
+        consumed once the walk reaches it — the same position in the RNG
+        stream the ``_modulate`` event occupies.  Within a segment the
+        arrival times are one seeded prefix sum over ``gap / factor``
+        (scalar division per gap, then left-to-right adds — the identical
+        float expressions, in order).
+        """
+        t = self._bulk_clock
+        times: list[float]
+        if self._bulk_first:
+            self._bulk_first = False
+            if self.model == "cbr":
+                t += float(self.rng.uniform(0.0, self.mean_gap))
+                # Boundaries up to the first arrival fire before its event
+                # (and before the first refill, which the per-packet path
+                # performs at that event).
+                self._mod_consume(t)
+                self._refill()
+                times = [t]
+                idx = 1  # gaps[0] replaced by the uniform phase offset
+            else:
+                self._refill()
+                # The first arrival is scheduled at construction from the
+                # raw first gap — never factor-divided (no boundary has
+                # fired when it is computed).
+                t = t + self._gaps[0]
+                times = [t]
+                idx = 1
+        else:
+            # A boundary at or before the previous batch's last arrival
+            # may be unconsumed (its crossing arrival closed that batch);
+            # per-packet it fires before that arrival's event — which is
+            # where this refill happens — so consume it before drawing.
+            self._mod_consume(t)
+            self._refill()
+            times = []
+            idx = 0
+        gaps = self._gaps
+        n = len(gaps)
+        mean_gap = self.mean_gap
+        prefix_sum = kernels.prefix_sum
+        while idx < n:
+            # Boundaries at or before the last emitted arrival have fired
+            # (boundary-first on an exact tie; see the module docstring).
+            self._mod_consume(t)
+            f = self._mod_factor
+            b = self._mod_next_b
+            if b == float("inf"):
+                # Chain dead (stop reached): the factor is frozen.
+                seg = prefix_sum(t, [g / f for g in gaps[idx:]])
+                times.extend(seg[1:])
+                t = seg[-1]
+                idx = n
+                break
+            # Generate this segment's window: everything up to and
+            # including the first arrival at or past the boundary (that
+            # arrival's time was computed from a predecessor before the
+            # boundary, so it still uses factor ``f``).
+            est = int((b - t) * f / mean_gap * 1.25) + 16
+            remaining = n - idx
+            if est > remaining:
+                est = remaining
+            seg = prefix_sum(t, [g / f for g in gaps[idx:idx + est]])
+            cut = bisect_left(seg, b, 1)  # seg[0] == t < b
+            keep = cut if cut <= est else est
+            times.extend(seg[1:keep + 1])
+            t = seg[keep]
+            idx += keep
+        self._idx = n  # the whole batch is consumed by this horizon
+        self._bulk_clock = t
+        return times, self._sizes
 
     def _resume_per_packet(
         self, times: list[float], sizes: list[int], exhausted: bool
@@ -430,18 +596,38 @@ class CrossTrafficSource:
         self._tail_exhausted = exhausted
         if times:
             self.sim.schedule_at(times[0], self._tail_arrival)
+            if self.modulation is not None and not exhausted:
+                # Boundary draws up to the tail's end were consumed when
+                # its batch was generated (leftovers here); restart the
+                # event chain for the boundaries beyond it.
+                self._mod_consume(self._bulk_clock)
+                if self._mod_next_b != float("inf"):
+                    self.sim.schedule_at(self._mod_next_b, self._modulate)
         elif not exhausted:
             if self._bulk_first:
                 # Decommissioned before the first batch was ever generated:
                 # start exactly as the per-packet constructor would have.
                 self._bulk_first = False
                 first_gap = self._warmup_offset()
+                if self.modulation is not None:
+                    self._mod_consume(self.sim.now, inclusive=False)
+                    if self._mod_next_b != float("inf"):
+                        self.sim.schedule_at(self._mod_next_b, self._modulate)
                 self.sim.schedule_at(self._bulk_clock + first_gap, self._arrival)
             else:
-                self.sim.schedule_at(
-                    self._bulk_clock + self._next_gap() / self._mod_factor,
-                    self._arrival,
-                )
+                if self.modulation is not None:
+                    # Boundaries up to the last folded arrival were consumed
+                    # with its batch; the refill below happens (per-packet)
+                    # at that arrival's event, before any later boundary.
+                    self._mod_consume(self._bulk_clock)
+                gap = self._next_gap() / self._mod_factor
+                if self.modulation is not None:
+                    # Boundaries that per-packet fired between the last
+                    # arrival and now draw here; the rest become events.
+                    self._mod_consume(self.sim.now, inclusive=False)
+                    if self._mod_next_b != float("inf"):
+                        self.sim.schedule_at(self._mod_next_b, self._modulate)
+                self.sim.schedule_at(self._bulk_clock + gap, self._arrival)
 
     def _tail_arrival(self) -> None:
         now = self.sim.now

@@ -85,6 +85,7 @@ FLOW_FALLBACK_REASONS: tuple[str, ...] = (
     "tracer",
     "link-config",
     "link-decommission",
+    "capacity-schedule",
 )
 
 _INF = float("inf")
@@ -1352,6 +1353,14 @@ def try_attach_flow(sender: "TCPSender") -> bool:
             or link._drop_hook is not None
         ):
             _note_flow_fallback(network, sim, "link-config")
+            return False
+        if link._cap_sched is not None:
+            # The virtual-link walk hoists one capacity per hop and the
+            # round planner divides by it throughout; a piecewise
+            # schedule would need per-admission lookups in every branch.
+            # Rare enough that the per-packet path (which handles it
+            # exactly) is the right answer.
+            _note_flow_fallback(network, sim, "capacity-schedule")
             return False
     global _SegmentInfo
     if _SegmentInfo is None:

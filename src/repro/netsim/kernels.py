@@ -57,6 +57,7 @@ process-wide counters, published into every tracer's registry as
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Optional, Sequence
 
 from .fastpath import resolve_vector
@@ -69,10 +70,12 @@ __all__ = [
     "ONE_SHOT_REASONS",
     "enabled",
     "lindley",
+    "lindley_segmented",
     "prefix_sum",
     "masked_prefix_sum",
     "merge_parts",
     "fold_slice",
+    "fold_slice_segmented",
     "plan_hop",
     "masked_pending",
     "kernel_calls",
@@ -122,7 +125,13 @@ MIN_PROBES = 256
 #: Every kernel name the selection counter may carry, for declared-but-
 #: zero metric export (dashboards see stable series before the first
 #: increment; see docs/observability.md).
-KERNELS: tuple[str, ...] = ("lindley", "prefix_sum", "masked_prefix_sum", "merge")
+KERNELS: tuple[str, ...] = (
+    "lindley",
+    "lindley_segmented",
+    "prefix_sum",
+    "masked_prefix_sum",
+    "merge",
+)
 
 #: Every decline reason the fallback counter may carry, same purpose.
 KERNEL_FALLBACK_REASONS: tuple[str, ...] = (
@@ -132,6 +141,7 @@ KERNEL_FALLBACK_REASONS: tuple[str, ...] = (
     "short-segments",
     "verify-failed",
     "unsorted-probes",
+    "segment-spill",
 )
 
 #: Reasons noted at most once per process (availability facts, not
@@ -243,6 +253,25 @@ def _prefix_sum_scalar(initial: float, deltas) -> list:
     return out
 
 
+def _lindley_segmented_scalar(free_at, times, sizes, bounds, caps) -> list:
+    """Ground-truth fold under a piecewise-constant capacity schedule.
+
+    ``caps[k]`` is the rate in force on ``[bounds[k-1], bounds[k])``
+    (``caps`` has one more entry than ``bounds``); each transmission is
+    served at the rate in force at its *start* instant, with a start
+    exactly on a boundary taking the new rate — the same lookup
+    ``Link.capacity_at`` performs with ``bisect_right``.
+    """
+    out = []
+    for i in range(len(times)):
+        t = times[i]
+        start = free_at if free_at > t else t
+        cap = caps[bisect_right(bounds, start)]
+        free_at = start + sizes[i] * 8.0 / cap
+        out.append(free_at)
+    return out
+
+
 def _masked_prefix_sum_scalar(values, mask, initial):
     out = []
     acc = initial
@@ -323,6 +352,44 @@ def _self_check() -> bool:
             jit(free_at, t, tx, out)
             if list(out) != want:
                 return False
+    segmented_cases = [
+        # (free_at, times, sizes, bounds, caps): idle and busy partitions,
+        # arrivals exactly on a boundary (new rate), empty partitions,
+        # rate steps both directions.
+        (0.0, [], [], [1.0], [8.0, 16.0]),
+        (0.0, [0.1, 0.4, 1.0, 1.3], [100, 100, 100, 100], [1.0], [8e3, 4e3]),
+        (0.5, [0.6, 0.61, 0.62, 2.5, 2.51], [500, 500, 500, 500, 500],
+         [1.0, 2.0], [8e5, 4e5, 1.6e6]),
+        (0.0, [3.0, 3.5], [200, 200], [1.0, 2.0], [8e3, 8e4, 8e5]),
+        (0.0, [0.1 * k for k in range(1, 30)], [125] * 29,
+         [1.5], [1e4, 2e4]),
+    ]
+    for free_at, times, sizes, bounds, caps in segmented_cases:
+        want = _lindley_segmented_scalar(free_at, times, sizes, bounds, caps)
+        got = _lindley_segmented_numpy(
+            free_at,
+            np.asarray(times, dtype=np.float64),
+            np.asarray(sizes, dtype=np.int64),
+            bounds,
+            caps,
+            min_seg=0.0,
+            note=False,
+        )
+        if got is not None and list(got) != want:
+            return False
+    # A backlog spilling a transmission start across the boundary must
+    # make the kernel decline — a fixed-rate fold would be wrong there.
+    spill = _lindley_segmented_numpy(
+        0.0,
+        np.asarray([0.9, 0.91, 0.92], dtype=np.float64),
+        np.asarray([12500, 12500, 12500], dtype=np.int64),
+        [1.0],
+        [1e6, 2e6],  # each tx is 0.1s at 1 Mb/s: starts 2 and 3 spill
+        min_seg=0.0,
+        note=False,
+    )
+    if spill is not None:
+        return False
     prefix_cases = [
         (0.0, []),
         (1.5, [0.25, 0.5, 0.125]),
@@ -509,6 +576,26 @@ def lindley(free_at: float, times, txs, min_mean_seg: Optional[float] = None):
     return out.tolist()
 
 
+def lindley_segmented(free_at: float, times, sizes, bounds, caps):
+    """Exact Lindley fold under a piecewise-constant capacity schedule.
+
+    ``bounds``/``caps`` follow the :meth:`Link.capacity_at` convention
+    (``caps[k]`` in force on ``[bounds[k-1], bounds[k])``, a start
+    exactly on a boundary taking the new rate).  Returns the list of
+    completion times, or None when the kernel declines — disabled, a
+    busy period spilling a transmission start across a boundary
+    (``segment-spill``), or an inner fixed-rate fold declining.
+    """
+    if not enabled():
+        return None
+    t = np.asarray(times, dtype=np.float64)
+    sz = np.asarray(sizes, dtype=np.int64)
+    out = _lindley_segmented_numpy(free_at, t, sz, bounds, caps)
+    if out is None:
+        return None
+    return out.tolist()
+
+
 def prefix_sum(initial: float, deltas) -> list:
     """Running sum ``[initial, initial+d0, initial+d0+d1, ...]``.
 
@@ -648,7 +735,7 @@ def fold_slice(free_at, times, sizes, lo, hi, cap, keep_after, arrays=None):
     return float(f[-1]), kept, kept_bytes, fold_bytes
 
 
-def _fold_arrays(free_at, t, sz, cap):
+def _fold_arrays(free_at, t, sz, cap, min_seg=None):
     """Shared exact fold core: tx = size * 8.0 / cap, then Lindley."""
     tx = sz * 8.0 / cap
     jit = _get_jit()
@@ -657,12 +744,103 @@ def _fold_arrays(free_at, t, sz, cap):
         jit(free_at, t, tx, out)
         _count("lindley")
         return out
-    f, reason = _lindley_numpy(free_at, t, tx, MIN_MEAN_SEGMENT)
+    seg = MIN_MEAN_SEGMENT if min_seg is None else min_seg
+    f, reason = _lindley_numpy(free_at, t, tx, seg)
     if f is None:
         _note_fallback(reason)
         return None
     _count("lindley")
     return f
+
+
+def _lindley_segmented_numpy(free_at, t, sz, bounds, caps, min_seg=None, note=True):
+    """Capacity-schedule fold: the proven fixed-rate kernel per segment.
+
+    Arrivals are partitioned by arrival time at the schedule boundaries
+    (``side="left"``: an arrival exactly on a boundary joins the new
+    segment, mirroring ``bisect_right`` in the capacity lookup) and each
+    partition runs :func:`_fold_arrays` at its segment's rate.  That is
+    exact only if every transmission *started* inside the segment it was
+    partitioned into — a backlog can push a start past the boundary into
+    a different rate.  Starts are monotone on a FIFO link, so it
+    suffices to check the partition's last start: if it reaches the
+    segment end the kernel declines (``segment-spill``) and the caller's
+    scalar loop — which looks the rate up per packet — takes over.
+    """
+    n = t.shape[0]
+    if n == 0:
+        return t[:0]
+    cuts = np.searchsorted(t, np.asarray(bounds, dtype=np.float64), side="left")
+    out = np.empty(n, dtype=np.float64)
+    f = free_at
+    p = 0
+    nb = len(bounds)
+    for k in range(nb + 1):
+        q = int(cuts[k]) if k < nb else n
+        if q <= p:
+            continue
+        seg = _fold_arrays(f, t[p:q], sz[p:q], caps[k], min_seg)
+        if seg is None:
+            return None
+        if k < nb:
+            last_start = f if f > t[q - 1] else float(t[q - 1])
+            if q - p > 1:
+                prev = float(seg[q - p - 2])
+                tq = float(t[q - 1])
+                last_start = prev if prev > tq else tq
+            if last_start >= bounds[k]:
+                if note:
+                    _note_fallback("segment-spill")
+                return None
+        out[p:q] = seg
+        f = float(seg[-1])
+        p = q
+    _count("lindley_segmented")
+    return out
+
+
+def fold_slice_segmented(
+    free_at, times, sizes, lo, hi, bounds, caps, keep_after, arrays=None
+):
+    """Capacity-schedule twin of :func:`fold_slice` — same contract.
+
+    Returns ``(end_free_at, kept, kept_bytes, fold_bytes)`` or None when
+    declining.  The ρ pre-gate uses the rate in force at the slice's
+    first arrival; the per-segment spill check inside the fold keeps the
+    result exact whatever the gate lets through.
+    """
+    if not enabled():
+        return None
+    if arrays is not None:
+        t, sz = arrays
+        fold_bytes = int(sz.sum())
+        t0 = float(t[0])
+        span = float(t[-1]) - t0
+    else:
+        t = sz = None
+        tsl = times[lo:hi]
+        ssl = sizes[lo:hi]
+        fold_bytes = sum(ssl)
+        t0 = tsl[0]
+        span = tsl[-1] - t0
+    cap_gate = caps[bisect_right(bounds, t0)]
+    if fold_bytes * 8.0 < MIN_RHO * cap_gate * span:
+        _note_fallback("short-segments")
+        return None
+    if t is None:
+        t = np.asarray(tsl, dtype=np.float64)
+        sz = np.asarray(ssl, dtype=np.int64)
+    f = _lindley_segmented_numpy(free_at, t, sz, bounds, caps)
+    if f is None:
+        return None
+    keep = f > keep_after
+    if keep.any():
+        kept = list(zip(f[keep].tolist(), sz[keep].tolist()))
+        kept_bytes = int(sz[keep].sum())
+    else:
+        kept = []
+        kept_bytes = 0
+    return float(f[-1]), kept, kept_bytes, fold_bytes
 
 
 def plan_hop(

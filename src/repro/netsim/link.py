@@ -2,7 +2,9 @@
 
 Each :class:`Link` is a FIFO transmission queue with:
 
-* a fixed capacity ``C`` in bits per second,
+* a fixed capacity ``C`` in bits per second — or an optional
+  piecewise-constant capacity schedule (:meth:`Link.set_capacity_segments`)
+  for time-varying channels,
 * a propagation delay,
 * an optional finite drop-tail buffer (in bytes).
 
@@ -111,6 +113,7 @@ class Link:
         "_qdisc",
         "_agg",
         "_agenda",
+        "_cap_sched",
         "_free_at",
         "_in_flight",
         "_backlog_bytes",
@@ -144,6 +147,7 @@ class Link:
         self._qdisc = qdisc
         self._agg = None  # CrossAggregator once bulk sources attach
         self._agenda = None  # HopAgenda while a planned probe stream transits
+        self._cap_sched = None  # (boundaries, rates) piecewise-constant schedule
         self._free_at = 0.0  # when the transmitter becomes idle
         self._in_flight: deque = deque()  # (tx_done_time, size_bytes)
         self._backlog_bytes = 0
@@ -201,6 +205,71 @@ class Link:
         if self._agg is not None:
             self._decommission()
         self._qdisc = policy
+
+    # ------------------------------------------------------------------
+    # Piecewise-constant capacity schedule (plannable time variation)
+    # ------------------------------------------------------------------
+    def capacity_at(self, t: float) -> float:
+        """Transmission rate in force at instant ``t``.
+
+        Without a schedule this is ``capacity_bps``.  With one, the rate
+        switches at each boundary; an instant exactly on a boundary takes
+        the new rate.  Every data path — per-packet ``send()``, the bulk
+        folds, and the stream planner — serializes each packet at the
+        rate in force when its transmission *starts*, so they agree bit
+        for bit.
+        """
+        sched = self._cap_sched
+        if sched is None:
+            return self.capacity_bps
+        bounds, caps = sched
+        return caps[bisect_right(bounds, t)]
+
+    def set_capacity_segments(self, segments) -> None:
+        """Install a piecewise-constant capacity schedule.
+
+        ``segments`` is an iterable of ``(time, capacity_bps)`` pairs
+        with strictly increasing times, all in the future: from each
+        time on, the link transmits at the paired rate until the next
+        boundary (the last rate holds forever).  Each packet is
+        serialized at the rate in force when its transmission *starts*
+        (:meth:`capacity_at`); a transmission already under way when a
+        boundary passes completes at its admission rate — the
+        store-and-forward idealization of a rate change.
+
+        Installing a schedule is a planning chokepoint like rebinding
+        ``deliver``: a planned probe stream in transit is revoked and
+        replayed per-packet (which also dissolves an attached flow
+        domain), because their plans assumed the old rate function.
+        Bulk cross traffic stays bulk — the folds look rates up per
+        segment.  Reinstalling replaces the previous schedule; the rate
+        currently in force becomes the rate before the first boundary.
+        ``capacity_bps`` keeps the construction-time base rate (used by
+        monitors' utilization normalization and AQM policies).
+        """
+        now = self.sim.now
+        pairs = [(float(t), float(c)) for t, c in segments]
+        if not pairs:
+            raise ValueError("capacity schedule needs at least one segment")
+        for t, c in pairs:
+            if c <= 0:
+                raise ValueError(f"segment capacity must be positive, got {c}")
+            if t <= now:
+                raise ValueError(
+                    f"segment boundaries must be in the future, got {t} at t={now}"
+                )
+        bounds = [t for t, _ in pairs]
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise ValueError("segment boundaries must be strictly increasing")
+        if self._agenda is not None:
+            self._agenda.plan.revoke("link-decommission")
+        # Fold everything due under the schedule in force until now; the
+        # per-packet path would have admitted those arrivals before this
+        # call ran, under the same (old) rate function.
+        if self._agg is not None:
+            self.sync(now)
+        base = self.capacity_at(now)
+        self._cap_sched = (bounds, [base] + [c for _, c in pairs])
 
     @property
     def stats(self) -> LinkStats:
@@ -276,6 +345,7 @@ class Link:
             return
         sizes = agg.sizes
         cap = self.capacity_bps
+        cap_sched = self._cap_sched
         free_at = self._free_at
         backlog = self._backlog_bytes
         in_flight = self._in_flight
@@ -292,10 +362,17 @@ class Link:
             folded = None
             hi = bisect_right(times, t_now, idx, n)
             if hi - idx >= kernels.MIN_BATCH and kernels.enabled():
-                folded = kernels.fold_slice(
-                    free_at, times, sizes, idx, hi, cap, t_now,
-                    agg.arrays(idx, hi),
-                )
+                if cap_sched is None:
+                    folded = kernels.fold_slice(
+                        free_at, times, sizes, idx, hi, cap, t_now,
+                        agg.arrays(idx, hi),
+                    )
+                else:
+                    folded = kernels.fold_slice_segmented(
+                        free_at, times, sizes, idx, hi,
+                        cap_sched[0], cap_sched[1], t_now,
+                        agg.arrays(idx, hi),
+                    )
             if folded is not None:
                 free_at, kept, kept_bytes, kept_fold = folded
                 fwd_bytes += kept_fold
@@ -303,7 +380,7 @@ class Link:
                 in_flight.extend(kept)
                 backlog += kept_bytes
                 idx = hi
-            else:
+            elif cap_sched is None:
                 while idx < n:  # simlint: vector-safe
                     t = times[idx]
                     if t > t_now:
@@ -317,10 +394,27 @@ class Link:
                         in_flight.append((free_at, size))
                         backlog += size
                     idx += 1
+            else:
+                bounds, caps = cap_sched
+                while idx < n:  # simlint: vector-safe
+                    t = times[idx]
+                    if t > t_now:
+                        break
+                    size = sizes[idx]
+                    start = free_at if free_at > t else t
+                    free_at = start + size * 8.0 / caps[bisect_right(bounds, start)]
+                    fwd_bytes += size
+                    fwd_pkts += 1
+                    if free_at > t_now:
+                        in_flight.append((free_at, size))
+                        backlog += size
+                    idx += 1
         else:
             # Drop-tail decisions replay deterministically in merge order:
             # the backlog each arrival tests is the one the per-packet path
             # would have computed at that instant.
+            if cap_sched is not None:
+                bounds, caps = cap_sched
             drop_bytes = stats.bytes_dropped
             drop_pkts = stats.packets_dropped
             while idx < n:
@@ -335,6 +429,8 @@ class Link:
                     drop_pkts += 1
                 else:
                     start = free_at if free_at > t else t
+                    if cap_sched is not None:
+                        cap = caps[bisect_right(bounds, start)]
                     free_at = start + size * 8.0 / cap
                     in_flight.append((free_at, size))
                     backlog += size
@@ -396,6 +492,7 @@ class Link:
         a_dones = agenda.dones
         a_size = agenda.size
         cap = self.capacity_bps
+        cap_sched = self._cap_sched
         free_at = self._free_at
         backlog = self._backlog_bytes
         in_flight = self._in_flight
@@ -425,6 +522,8 @@ class Link:
                     drop_pkts += 1
                 else:
                     start = free_at if free_at > t else t
+                    if cap_sched is not None:
+                        cap = cap_sched[1][bisect_right(cap_sched[0], start)]
                     free_at = start + size * 8.0 / cap
                     in_flight.append((free_at, size))
                     backlog += size
@@ -523,7 +622,8 @@ class Link:
         now) are folded in first, so this packet queues behind them —
         the FIFO order the per-packet path produces.
         """
-        now = self.sim.now
+        sim = self.sim
+        now = sim.now
         if self._agenda is not None:
             # Universal interference chokepoint: *any* foreground send on a
             # hop carrying a planned probe stream — TCP, ping, per-packet
@@ -534,34 +634,47 @@ class Link:
             self._agenda.plan.revoke("foreign-send")
         if self._agg is not None:
             self.sync(now)
-        self._purge(now)
-        drop = (
-            self.buffer_bytes is not None
-            and self._backlog_bytes + pkt.size > self.buffer_bytes
-        )
-        if not drop and self._qdisc is not None:
-            drop = self._qdisc.should_drop(
-                self._backlog_bytes, pkt.size, now, self.capacity_bps
-            )
+        # Hot attributes bound once: this method runs once per foreground
+        # packet, and slot loads dominated its profile.
+        size = pkt.size
+        in_flight = self._in_flight
+        backlog = self._backlog_bytes
+        while in_flight and in_flight[0][0] <= now:
+            backlog -= in_flight.popleft()[1]
+        buffer_bytes = self.buffer_bytes
+        drop = buffer_bytes is not None and backlog + size > buffer_bytes
+        if not drop:
+            qdisc = self._qdisc
+            if qdisc is not None:
+                drop = qdisc.should_drop(backlog, size, now, self.capacity_bps)
+        stats = self._stats
         if drop:
-            self._stats.bytes_dropped += pkt.size
-            self._stats.packets_dropped += 1
+            self._backlog_bytes = backlog
+            stats.bytes_dropped += size
+            stats.packets_dropped += 1
             if self._tracer is not None:
                 self._tracer.on_link_drop(self, pkt, now)
-            if self._drop_hook is not None:
-                self._drop_hook(pkt)
+            drop_hook = self._drop_hook
+            if drop_hook is not None:
+                drop_hook(pkt)
             return False
 
-        start = self._free_at if self._free_at > now else now
-        done = start + pkt.size * 8.0 / self.capacity_bps
+        free_at = self._free_at
+        start = free_at if free_at > now else now
+        cap_sched = self._cap_sched
+        if cap_sched is None:
+            done = start + size * 8.0 / self.capacity_bps
+        else:
+            done = start + size * 8.0 / cap_sched[1][bisect_right(cap_sched[0], start)]
         self._free_at = done
-        self._in_flight.append((done, pkt.size))
-        self._backlog_bytes += pkt.size
-        self._stats.bytes_forwarded += pkt.size
-        self._stats.packets_forwarded += 1
+        in_flight.append((done, size))
+        backlog += size
+        self._backlog_bytes = backlog
+        stats.bytes_forwarded += size
+        stats.packets_forwarded += 1
         if self._tracer is not None:
-            self._tracer.on_link_enqueue(self.name, self._backlog_bytes)
-        self.sim.schedule_at(done + self.prop_delay, self._exit, pkt)
+            self._tracer.on_link_enqueue(self.name, backlog)
+        sim.schedule_at(done + self.prop_delay, self._exit, pkt)
         return True
 
     def _exit(self, pkt: Packet) -> None:

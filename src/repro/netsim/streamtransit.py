@@ -432,6 +432,14 @@ def plan_stream(
             cn = 0
         ci_start = ci
         cap = link.capacity_bps
+        cap_sched = link._cap_sched
+        if cap_sched is not None:
+            # Piecewise-constant capacity: every admission looks up the
+            # rate in force at its transmission start, exactly as
+            # ``Link.send()`` does.  The vector kernel is skipped (its
+            # Lindley folds assume one rate); the scalar walks below do
+            # the per-admission lookup inline.
+            cs_bounds, cs_caps = cap_sched
         prop = link.prop_delay
         buffer_bytes = link.buffer_bytes
         free_at = link._free_at
@@ -454,7 +462,7 @@ def plan_stream(
                 if cut > ci
                 else len(cur_t) >= kernels.MIN_PROBES
             )
-            if big_enough and kernels.enabled():
+            if cap_sched is None and big_enough and kernels.enabled():
                 planned = kernels.plan_hop(
                     free_at, c_times, c_sizes, ci, cut,
                     cur_t, size, cap, t_end, prop,
@@ -479,7 +487,12 @@ def plan_stream(
                 nxt_append = nxt_t.append
                 for t in cur_t:  # simlint: vector-safe
                     start = free_at if free_at > t else t
-                    done_t = start + tx
+                    if cap_sched is None:
+                        done_t = start + tx
+                    else:
+                        done_t = start + size * 8.0 / cs_caps[
+                            bisect_right(cs_bounds, start)
+                        ]
                     free_at = done_t
                     if done_t > t_end:
                         eif_append((done_t, size))
@@ -501,6 +514,8 @@ def plan_stream(
                             break
                         sz = c_sizes[ci]
                         start = free_at if free_at > tc else tc
+                        if cap_sched is not None:
+                            cap = cs_caps[bisect_right(cs_bounds, start)]
                         free_at = start + sz * 8.0 / cap
                         if free_at > t_end:
                             eif_append((free_at, sz))
@@ -508,7 +523,12 @@ def plan_stream(
                         fwd_pkts += 1
                         ci += 1
                     start = free_at if free_at > t else t
-                    done_t = start + tx
+                    if cap_sched is None:
+                        done_t = start + tx
+                    else:
+                        done_t = start + size * 8.0 / cs_caps[
+                            bisect_right(cs_bounds, start)
+                        ]
                     free_at = done_t
                     if done_t > t_end:
                         eif_append((done_t, size))
@@ -539,6 +559,8 @@ def plan_stream(
                         drop_pkts += 1
                     else:
                         start = free_at if free_at > tc else tc
+                        if cap_sched is not None:
+                            cap = cs_caps[bisect_right(cs_bounds, start)]
                         free_at = start + sz * 8.0 / cap
                         in_flight.append((free_at, sz))
                         backlog += sz
@@ -555,7 +577,12 @@ def plan_stream(
                     drop_hop[i] = h
                 else:
                     start = free_at if free_at > t else t
-                    done_t = start + tx
+                    if cap_sched is None:
+                        done_t = start + tx
+                    else:
+                        done_t = start + size * 8.0 / cs_caps[
+                            bisect_right(cs_bounds, start)
+                        ]
                     free_at = done_t
                     in_flight.append((done_t, size))
                     backlog += size
@@ -666,6 +693,7 @@ def _shadow_verify(channel: "ProbeChannel", plan: StreamPlan) -> None:
         backlog = link._backlog_bytes
         in_flight = deque(link._in_flight)
         cap = link.capacity_bps
+        cap_sched = link._cap_sched
         buffer_bytes = link.buffer_bytes
         exit_map = {i: x for x, i in plan.agendas[h].exit_pairs}
         out: list[tuple[float, int]] = []
@@ -680,6 +708,8 @@ def _shadow_verify(channel: "ProbeChannel", plan: StreamPlan) -> None:
                     )
                 continue
             start = free_at if free_at > t else t
+            if cap_sched is not None:
+                cap = cap_sched[1][bisect_right(cap_sched[0], start)]
             free_at = start + sz * 8.0 / cap
             in_flight.append((free_at, sz))
             backlog += sz

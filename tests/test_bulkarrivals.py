@@ -4,9 +4,11 @@ The bulk path's contract is *bit identity*: on every eligible
 configuration, probe OWD series, link stats, monitor samples, and source
 counters must equal — with ``==``, not ``approx`` — what the per-packet
 path produces, because the arrival times are the same floating-point sums
-over the same RNG draws.  Ineligible configurations (qdisc, modulation,
-taps) must fall back automatically; rebinding a link's hooks mid-run must
-decommission bulk sources without perturbing the sample path.
+over the same RNG draws — including modulated sources, whose arrivals are
+batch-generated per rate-factor segment.  Ineligible configurations
+(qdisc, drop hooks, taps) must fall back automatically; rebinding a
+link's hooks mid-run must decommission bulk sources without perturbing
+the sample path.
 """
 
 import itertools
@@ -162,6 +164,42 @@ class TestBitIdentity:
             {"model": "cbr", "n_sources": 1, "until": 12.0, "utilization": 0.9}
         )
 
+    @pytest.mark.parametrize("model", ["poisson", "pareto", "cbr"])
+    def test_modulated_single_hop(self, model):
+        """Segment-planned generation: modulated sources stay bulk and
+        stay bit-identical."""
+        assert_equivalent({"model": model, "modulation": (0.5, 0.3)})
+
+    def test_modulated_drop_tail_multi_hop(self):
+        pp, bulk = assert_equivalent(
+            {
+                "model": "pareto",
+                "modulation": (0.5, 0.3),
+                "hops": 2,
+                "buffer_bytes": 6000,
+                "utilization": 0.95,
+            }
+        )
+        assert bulk["stats"][0]["packets_dropped"] > 0, "workload caused no drops"
+
+    def test_modulated_stop_time(self):
+        """The boundary chain dies at ``stop`` on both paths (the frozen
+        factor must match through the truncated final batch)."""
+        assert_equivalent({"model": "pareto", "modulation": (0.3, 0.4), "stop": 1.7})
+
+    def test_modulated_refill_horizon_crossing(self):
+        """Several refills per source with short segments: leftover
+        boundary draws must carry across batch edges in RNG order."""
+        assert_equivalent(
+            {
+                "model": "poisson",
+                "modulation": (0.1, 0.5),
+                "n_sources": 1,
+                "until": 12.0,
+                "utilization": 0.9,
+            }
+        )
+
     def test_bulk_digest_is_reproducible(self):
         """Two equal-seed bulk runs execute the identical event order."""
         a = run_experiment(None, sanitize=True, model="pareto")
@@ -188,7 +226,10 @@ class TestFallback:
         sim.run(until=1.0)
         assert link.stats.packets_forwarded > 0
 
-    def test_modulation_forces_per_packet(self):
+    def test_modulation_stays_bulk(self):
+        """Modulation is piecewise-constant, so it no longer disqualifies
+        the bulk path: arrivals are batch-generated per rate-factor
+        segment with boundary draws at their per-packet RNG positions."""
         sim = Simulator()
         net = build_path(sim, [LinkSpec(10e6)])
         sources = attach_cross_traffic(
@@ -200,7 +241,10 @@ class TestFallback:
             n_sources=2,
             modulation=(0.5, 0.3),
         )
-        assert not any(s.is_bulk for s in sources)
+        assert all(s.is_bulk for s in sources)
+        sim.run(until=2.0)
+        assert all(s.is_bulk for s in sources)
+        assert net.forward_links[0].stats.packets_forwarded > 0
 
     def test_drop_hook_forces_per_packet(self):
         sim = Simulator()
@@ -245,6 +289,74 @@ class TestFallback:
         assert all(s.is_bulk for s in sources)
 
 
+class TestCapacitySchedule:
+    """A piecewise-constant capacity schedule is *not* a decommission for
+    bulk cross traffic: the folds look the rate up per segment, so the
+    sources stay bulk and every observable still matches per-packet."""
+
+    SEGMENTS = ((1.0, 6e6), (2.0, 14e6), (3.0, 9e6))
+
+    @classmethod
+    def _install(cls, net):
+        net.forward_links[0].set_capacity_segments(cls.SEGMENTS)
+
+    @pytest.mark.parametrize("model", ["poisson", "pareto", "cbr"])
+    def test_scheduled_link_bit_identical(self, model):
+        kwargs = {"model": model, "mutate_at": (0.5, self._install)}
+        pp = run_experiment(False, **kwargs)
+        bulk = run_experiment(None, **kwargs)
+        assert all(s.is_bulk for s in bulk["sources"]), "bulk dropped out"
+        for key in OBSERVABLES:
+            assert bulk[key] == pp[key], f"{key} diverged under schedule"
+
+    def test_scheduled_finite_buffer(self):
+        # Shrinking the rate to 6 Mb/s under near-saturating load makes
+        # the drop-tail replay cross rate boundaries with a hot buffer.
+        kwargs = {
+            "model": "pareto",
+            "buffer_bytes": 9_000,
+            "utilization": 0.95,
+            "mutate_at": (0.5, self._install),
+        }
+        pp = run_experiment(False, **kwargs)
+        bulk = run_experiment(None, **kwargs)
+        assert all(s.is_bulk for s in bulk["sources"])
+        assert pp["stats"][0]["packets_dropped"] > 0, "test needs drops"
+        for key in OBSERVABLES:
+            assert bulk[key] == pp[key], f"{key} diverged under schedule"
+
+    def test_scheduled_modulated_source(self):
+        # Non-stationary offered load over a non-stationary link: the
+        # segmented generator and the segmented fold compose.
+        kwargs = {
+            "model": "pareto",
+            "modulation": (0.5, 0.3),
+            "mutate_at": (0.5, self._install),
+        }
+        pp = run_experiment(False, **kwargs)
+        bulk = run_experiment(None, **kwargs)
+        assert all(s.is_bulk for s in bulk["sources"])
+        for key in OBSERVABLES:
+            assert bulk[key] == pp[key], f"{key} diverged under schedule"
+
+    def test_scheduled_no_vector_layout(self, monkeypatch):
+        # The scalar segmented fold (REPRO_NO_VECTOR) must agree with
+        # the kernel dispatch bit for bit.
+        kwargs = {"model": "poisson", "mutate_at": (0.5, self._install)}
+        fast = run_experiment(None, **kwargs)
+        monkeypatch.setenv("REPRO_NO_VECTOR", "1")
+        from repro.netsim import kernels
+
+        kernels._reset_for_tests()
+        try:
+            scalar = run_experiment(None, **kwargs)
+        finally:
+            monkeypatch.delenv("REPRO_NO_VECTOR")
+            kernels._reset_for_tests()
+        for key in OBSERVABLES:
+            assert fast[key] == scalar[key], f"{key} diverged across layouts"
+
+
 class TestDecommission:
     """Rebinding a link hook mid-run reverts bulk sources without
     perturbing the sample path."""
@@ -263,6 +375,33 @@ class TestDecommission:
         pp = run_experiment(False, **kwargs)
         bulk = run_experiment(None, **kwargs)
         assert not any(s.is_bulk for s in bulk["sources"]), "decommission missed"
+        for key in OBSERVABLES:
+            assert bulk[key] == pp[key], f"{key} diverged across decommission"
+
+    @pytest.mark.parametrize("model", ["poisson", "pareto", "cbr"])
+    def test_modulated_drop_hook_mid_run(self, model):
+        """A modulated bulk source must resume per-packet with its
+        boundary chain restarted at the right RNG position."""
+        kwargs = {
+            "model": model,
+            "modulation": (0.5, 0.3),
+            "mutate_at": (2.0, self._attach_drop_hook),
+        }
+        pp = run_experiment(False, **kwargs)
+        bulk = run_experiment(None, **kwargs)
+        assert not any(s.is_bulk for s in bulk["sources"]), "decommission missed"
+        for key in OBSERVABLES:
+            assert bulk[key] == pp[key], f"{key} diverged across decommission"
+
+    def test_modulated_decommission_before_first_batch(self):
+        kwargs = {
+            "model": "pareto",
+            "modulation": (0.5, 0.3),
+            "mutate_at": (0.0, self._attach_drop_hook),
+        }
+        pp = run_experiment(False, **kwargs)
+        bulk = run_experiment(None, **kwargs)
+        assert not any(s.is_bulk for s in bulk["sources"])
         for key in OBSERVABLES:
             assert bulk[key] == pp[key], f"{key} diverged across decommission"
 

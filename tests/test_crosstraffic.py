@@ -166,6 +166,52 @@ class TestModulation:
             sim.run(until=i * 0.05)
             assert 0.25 <= src._mod_factor <= 2.5
 
+    def test_boundary_times_are_exact(self):
+        """Regression: ``_modulate`` reschedules at ``anchor + k*interval``
+        (absolute), not ``now + interval`` (relative).  With a non-binary
+        interval like 0.1, relative rescheduling accumulates float error
+        (``sum of 100×0.1`` ≠ ``100*0.1``), which would let per-packet and
+        segment-planned boundary instants drift apart at tiebreaks."""
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(1e9)])
+        src = CrossTrafficSource(
+            sim, net, net.forward_links[0], 1e6, np.random.default_rng(3),
+            modulation=(0.1, 0.3), bulk=False,
+        )
+        boundaries = []
+        orig = src._modulate
+
+        def spy():
+            boundaries.append(sim.now)
+            orig()
+
+        # The k=0 event was queued by the constructor with the original
+        # bound method; the spy sees every rescheduled boundary from k=1.
+        src._modulate = spy
+        sim.run(until=10.05)
+        # Every boundary is bit-exactly k * 0.1 — the single multiplication,
+        # not an accumulated sum (100 * 0.1 == 10.000000000000002, which an
+        # accumulating chain does not hit).
+        assert boundaries == [k * 0.1 for k in range(1, len(boundaries) + 1)]
+        assert len(boundaries) == 100
+        assert boundaries[-1] == 100 * 0.1
+        assert src._mod_next_b == 101 * 0.1
+
+    def test_boundary_chain_survives_decommission(self):
+        """The restarted per-packet chain lands on the same exact grid."""
+        sim = Simulator()
+        net = build_path(sim, [LinkSpec(1e9)])
+        link = net.forward_links[0]
+        src = CrossTrafficSource(
+            sim, net, link, 1e6, np.random.default_rng(3),
+            modulation=(0.1, 0.3),
+        )
+        assert src.is_bulk
+        sim.schedule_at(1.05, lambda: setattr(link, "drop_hook", lambda p: None))
+        sim.run(until=3.0)
+        assert not src.is_bulk
+        assert src._mod_next_b == src._mod_k * 0.1
+
     def test_invalid_modulation_rejected(self):
         sim = Simulator()
         net = build_path(sim, [LinkSpec(1e6)])

@@ -305,6 +305,49 @@ class TestRevocation:
 
         assert run(True) == run(False)
 
+    def test_capacity_schedule_refuses_attach(self):
+        # The virtual-link walk hoists one capacity per hop, so a link
+        # with a pre-installed piecewise schedule refuses flow planning
+        # outright — the per-packet path handles the rate changes
+        # exactly.
+        def run(fast):
+            sim = Simulator()
+            net = build_path(sim, [LinkSpec(10e6, prop_delay=1e-3)])
+            net.forward_links[0].set_capacity_segments(
+                [(0.5000789, 6e6), (0.9000456, 12e6)]
+            )
+            snd, rcv = open_connection(
+                sim, net, config=TCPConfig(min_rto=0.5),
+                total_bytes=2_000_000, start=0.0, fast=fast,
+            )
+            sim.run(until=30.0)
+            return flow_state(snd, rcv), net
+
+        stf, netf = run(True)
+        sts, _ = run(False)
+        assert stf == sts
+        assert netf._ft_flows == 0
+        assert netf._ft_fallbacks == {"capacity-schedule": 1}
+
+    def test_capacity_schedule_install_dissolves_domain(self):
+        # Installing a schedule mid-transfer is a planning chokepoint
+        # like rebinding deliver: the domain dissolves onto the
+        # per-packet path with an unchanged sample path.
+        def mutate_install(net):
+            net.forward_links[0].set_capacity_segments(
+                [(0.5000789, 6e6), (0.9000456, 12e6)]
+            )
+
+        kwargs = dict(
+            total_bytes=2_000_000, mutate_at=0.2000123, mutate=mutate_install
+        )
+        stf, sf, _, netf, _ = run_flow(True, **kwargs)
+        sts, ss, _, _, _ = run_flow(False, **kwargs)
+        assert stf == sts
+        assert sf == ss
+        assert netf._ft_flows == 1
+        assert netf._ft_fallbacks == {"link-decommission": 1}
+
 
 # ----------------------------------------------------------------------
 # Figure-level regression: the Section VII point run

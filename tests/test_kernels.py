@@ -82,6 +82,153 @@ class TestLindley:
                 assert got == kernels._lindley_scalar(free_at, times, txs)
 
 
+class TestLindleySegmented:
+    def _schedule(self, rng, t0, t1):
+        """Random piecewise schedule with 1-3 boundaries inside [t0, t1]."""
+        nb = rng.randrange(1, 4)
+        bounds = sorted(t0 + rng.random() * (t1 - t0) for _ in range(nb))
+        caps = [rng.choice([2e6, 8e6, 10e6, 16e6]) for _ in range(nb + 1)]
+        return bounds, caps
+
+    def _case(self, rng, n, spread):
+        t, times, sizes = rng.random(), [], []
+        for _ in range(n):
+            t += rng.random() * spread
+            times.append(t)
+            sizes.append(rng.choice([40, 550, 1500]))
+        return times, sizes
+
+    def test_matches_scalar_exactly(self):
+        import numpy as np
+
+        rng = random.Random(17)
+        engaged = 0
+        for trial in range(100):
+            times, sizes = self._case(rng, 64, spread=2e-3)
+            bounds, caps = self._schedule(rng, times[0], times[-1])
+            free_at = times[0] - rng.random() * 1e-3
+            got = kernels._lindley_segmented_numpy(
+                free_at,
+                np.asarray(times, dtype=np.float64),
+                np.asarray(sizes, dtype=np.int64),
+                bounds,
+                caps,
+                min_seg=0.0,
+            )
+            want = kernels._lindley_segmented_scalar(
+                free_at, times, sizes, bounds, caps
+            )
+            if got is not None:
+                engaged += 1
+                assert got.tolist() == want, f"trial {trial}"
+        assert engaged > 0
+
+    def test_arrival_on_boundary_takes_new_rate(self):
+        # side="left" partitioning must mirror bisect_right in the
+        # capacity lookup: an arrival exactly on a boundary is served at
+        # the new rate.
+        got = kernels.lindley_segmented(
+            0.0, [0.5, 1.0], [1500, 1500], [1.0], [1e6, 1e7]
+        )
+        want = kernels._lindley_segmented_scalar(
+            0.0, [0.5, 1.0], [1500, 1500], [1.0], [1e6, 1e7]
+        )
+        if got is not None:
+            assert got == want
+            assert got[1] == 1.0 + 1500 * 8.0 / 1e7
+
+    def test_busy_spill_declines(self):
+        # Three 12.5 kB packets at 1 Mb/s take 0.1 s each: the backlog
+        # pushes a transmission start past the boundary at 0.15, so the
+        # partitioned fold would price it at the wrong rate — it must
+        # decline, never approximate.
+        before = kernels.kernel_fallbacks.get("segment-spill", 0)
+        got = kernels.lindley_segmented(
+            0.0, [0.0, 0.01, 0.02], [12500, 12500, 12500], [0.15], [1e6, 1e7]
+        )
+        assert got is None
+        if kernels.enabled():
+            assert kernels.kernel_fallbacks.get("segment-spill", 0) == before + 1
+        want = kernels._lindley_segmented_scalar(
+            0.0, [0.0, 0.01, 0.02], [12500, 12500, 12500], [0.15], [1e6, 1e7]
+        )
+        # The scalar ground truth prices the third start (0.2) at 10 Mb/s.
+        assert want[2] == pytest.approx(0.2 + 12500 * 8.0 / 1e7)
+
+    def test_empty_partitions_and_out_of_range_bounds(self):
+        import numpy as np
+
+        times = [1.0, 1.001, 1.002, 1.003]
+        sizes = [1500] * 4
+        bounds = [0.5, 2.0, 3.0]  # all arrivals in the middle segment
+        caps = [1e6, 8e6, 1e7, 2e6]
+        got = kernels._lindley_segmented_numpy(
+            0.0,
+            np.asarray(times, dtype=np.float64),
+            np.asarray(sizes, dtype=np.int64),
+            bounds,
+            caps,
+            min_seg=0.0,
+        )
+        want = kernels._lindley_segmented_scalar(0.0, times, sizes, bounds, caps)
+        if got is not None:
+            assert got.tolist() == want
+
+    def test_disabled_returns_none(self, monkeypatch):
+        monkeypatch.setenv(NO_VECTOR_ENV, "1")
+        kernels._reset_for_tests()
+        assert (
+            kernels.lindley_segmented(0.0, [1.0], [1500], [2.0], [1e6, 1e7])
+            is None
+        )
+
+
+class TestFoldSliceSegmented:
+    def _scalar_fold(self, free_at, times, sizes, lo, hi, bounds, caps, keep_after):
+        from bisect import bisect_right
+
+        kept, kept_bytes, fold_bytes = [], 0, 0
+        for i in range(lo, hi):
+            tc, sz = times[i], sizes[i]
+            start = free_at if free_at > tc else tc
+            cap = caps[bisect_right(bounds, start)]
+            free_at = start + sz * 8.0 / cap
+            fold_bytes += sz
+            if free_at > keep_after:
+                kept.append((free_at, sz))
+                kept_bytes += sz
+        return free_at, kept, kept_bytes, fold_bytes
+
+    def test_saturated_fold_bit_equal(self):
+        rng = random.Random(21)
+        size, cap = 1000, 1e7
+        gap = size * 8.0 / (1.2 * cap)
+        t, times, sizes = 0.0, [], []
+        for _ in range(512):
+            t += rng.random() * 2 * gap
+            times.append(t)
+            sizes.append(size)
+        bounds = [times[150] + 1e-7, times[350] + 1e-7]
+        caps = [cap, 2e7, 1.5e7]
+        keep_after = times[-1]
+        got = kernels.fold_slice_segmented(
+            0.0, times, sizes, 0, 512, bounds, caps, keep_after
+        )
+        want = self._scalar_fold(
+            0.0, times, sizes, 0, 512, bounds, caps, keep_after
+        )
+        if got is not None:
+            assert got == want
+
+    def test_disabled_returns_none(self, monkeypatch):
+        monkeypatch.setenv(NO_VECTOR_ENV, "1")
+        kernels._reset_for_tests()
+        got = kernels.fold_slice_segmented(
+            0.0, [1.0], [1000], 0, 1, [2.0], [1e6, 1e7], 0.0
+        )
+        assert got is None
+
+
 class TestPrefixSums:
     def test_prefix_sum_never_declines(self):
         rng = random.Random(7)

@@ -380,14 +380,16 @@ class TestVectorization:
             # Both sit next to the kernels.plan_hop dispatch: sanctioned.
             assert report.kernelized
 
-    def test_bulk_arrivals_fold_loop_is_vector_safe(self, loops):
+    def test_bulk_arrivals_fold_loops_are_vector_safe(self, loops):
         # The bulk-arrivals fold lives in Link.sync: it consumes the
-        # CrossAggregator's merged (times, sizes) arrays.
+        # CrossAggregator's merged (times, sizes) arrays.  Two flavours:
+        # the fixed-rate fold and its capacity-schedule twin (per-start
+        # rate lookup), each sitting next to its kernel dispatch.
         safe = self._find(loops, "repro.netsim.link", "Link.sync", "VECTOR-SAFE")
         annotated = [l for l in safe if l.annotated]
-        assert len(annotated) == 1
-        report = annotated[0]
-        assert "max+add (Lindley)" in report.accumulators.get("free_at", "")
+        assert len(annotated) == 2
+        for report in annotated:
+            assert "max+add (Lindley)" in report.accumulators.get("free_at", "")
 
     def test_drop_tail_counterparts_are_unsafe_with_reasons(self, loops):
         for module, function in (

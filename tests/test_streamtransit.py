@@ -51,6 +51,7 @@ def run_streams(
     monitor_at=(),
     qdisc_hop=None,
     clocks=None,
+    cap_install=None,
 ):
     """Send ``n_streams`` probe streams; return every observable series."""
     sim = Simulator(sanitize=sanitize)
@@ -69,6 +70,11 @@ def run_streams(
     if qdisc_hop is not None:
         net.forward_links[qdisc_hop].qdisc = REDQueue(
             5_000, 20_000, np.random.default_rng(seed + 1)
+        )
+    if cap_install is not None:
+        at, segments = cap_install
+        sim.schedule_at(
+            at, lambda: net.forward_links[0].set_capacity_segments(segments)
         )
     if clocks is not None:
         sender_clock, receiver_clock = clocks(sim)
@@ -207,6 +213,60 @@ class TestBitEquality:
         assert len(bf) == len(times)
         assert mf == ms
         assert sf == ss
+
+
+# ----------------------------------------------------------------------
+# Piecewise-constant capacity schedules (Section VI dynamics)
+# ----------------------------------------------------------------------
+class TestCapacitySchedule:
+    # Boundaries off the 0.3 ms probe-send grid, straddling the first
+    # stream's ~17.7 ms window so the plan crosses rate changes mid-walk.
+    SEGMENTS = ((2.00312345, 6e6), (2.00921234, 14e6))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(hops=1),
+            dict(hops=2),
+            dict(utilization=0.5),
+            dict(hops=1, buffer_bytes=4_000, rate_bps=9.5e6),
+            dict(utilization=0.6, buffer_bytes=15_000),
+        ],
+        ids=["idle-1hop", "idle-2hop", "cross-0.5", "droptail", "cross-finite"],
+    )
+    def test_scheduled_link_bit_identical(self, kwargs):
+        kwargs = dict(kwargs, cap_install=(1.0, self.SEGMENTS))
+        mf, sf, _, chf, _ = run_streams(True, **kwargs)
+        ms, ss, _, chs, _ = run_streams(False, **kwargs)
+        assert mf == ms
+        assert sf == ss
+        # Planning stays engaged: the walks look the rate up per
+        # admission instead of refusing the hop.
+        assert chf.fastpath_streams == len(mf)
+        assert not chf.fastpath_fallbacks
+        assert chs.fastpath_streams == 0
+
+    def test_scheduled_link_shadow_verify_passes(self):
+        mf, sf, _, chf, _ = run_streams(
+            True, utilization=0.5, sanitize=True,
+            cap_install=(1.0, self.SEGMENTS),
+        )
+        assert chf._shadow_checked
+        assert chf.fastpath_streams == len(mf)
+
+    def test_install_mid_stream_revokes_then_matches(self):
+        # Installing a schedule while a planned stream is in transit is a
+        # planning chokepoint: the plan is revoked (its walk assumed the
+        # old rate function) and the remainder replays per-packet.
+        segments = ((2.00791234, 6e6), (2.01321234, 14e6))
+        kwargs = dict(
+            utilization=0.4, cap_install=(2.00512345, segments)
+        )
+        mf, sf, _, chf, _ = run_streams(True, **kwargs)
+        ms, ss, _, _, _ = run_streams(False, **kwargs)
+        assert mf == ms
+        assert sf == ss
+        assert chf.fastpath_fallbacks.get("link-decommission") == 1
 
 
 # ----------------------------------------------------------------------
